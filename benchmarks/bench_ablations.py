@@ -1,0 +1,72 @@
+"""Ablation studies: the design choices the paper argues for, swept.
+
+* radix 4 / 8 / 16 — the Sec. II-A trade-off, including the radix-8
+  point the paper declined to build;
+* final CPA style — ripple / Brent-Kung / Kogge-Stone / carry-select;
+* pipeline register placement — the Sec. III-D discussion;
+* reduction tree style — Dadda 3:2 vs 4:2-compressor-first.
+
+Every design point is functionally verified before being measured.
+"""
+
+from repro.eval.sweep import (
+    sweep_cpa_style,
+    sweep_pipeline_cut,
+    sweep_radix,
+    sweep_specialization,
+    sweep_tree_style,
+)
+
+
+def test_bench_ablation_radix(benchmark, report_sink):
+    result = benchmark.pedantic(sweep_radix, rounds=1, iterations=1)
+    report_sink("ablation_radix", result.render())
+    by_label = {p.label: p for p in result.points}
+    # The paper's reading: radix-8 needs the pre-computation like
+    # radix-16 but keeps a taller, slower tree — dominated.
+    assert by_label["radix-4"].latency_ps < by_label["radix-16"].latency_ps
+    assert by_label["radix-8"].latency_ps > 0.95 * by_label[
+        "radix-16"].latency_ps
+
+
+def test_bench_ablation_cpa(benchmark, report_sink):
+    result = benchmark.pedantic(sweep_cpa_style, rounds=1, iterations=1)
+    report_sink("ablation_cpa", result.render())
+    by_label = {p.label: p for p in result.points}
+    assert by_label["cpa=kogge_stone"].latency_ps \
+        < by_label["cpa=ripple"].latency_ps
+    assert by_label["cpa=brent_kung"].gates \
+        < by_label["cpa=kogge_stone"].gates
+
+
+def test_bench_ablation_pipeline_cut(benchmark, report_sink):
+    result = benchmark.pedantic(sweep_pipeline_cut, rounds=1, iterations=1)
+    report_sink("ablation_pipeline_cut", result.render())
+    by_label = {p.label: p for p in result.points}
+    comb = by_label["cut=None"]
+    for cut in ("cut=after_precomp", "cut=after_ppgen"):
+        assert by_label[cut].clock_ps < comb.clock_ps
+        assert by_label[cut].registers > 0
+    # Fewest flip-flops after the pre-computation (the paper's criterion
+    # for the placement it settled on).
+    assert by_label["cut=after_precomp"].registers \
+        < by_label["cut=after_ppgen"].registers
+
+
+def test_bench_ablation_tree(benchmark, report_sink):
+    result = benchmark.pedantic(sweep_tree_style, rounds=1, iterations=1)
+    report_sink("ablation_tree", result.render())
+    assert len(result.points) == 4
+
+
+def test_bench_ablation_specialization(benchmark, report_sink):
+    result = benchmark.pedantic(sweep_specialization, rounds=1,
+                                iterations=1)
+    report_sink("ablation_specialization", result.render())
+    by_label = {p.label: p for p in result.points}
+    full = by_label["multi-format"]
+    # Every single-format specialization is smaller than the full unit;
+    # the fp64-only one should shed at least the dual-lane gating.
+    for label in ("int64-only", "fp64-only", "fp32x2-only"):
+        assert by_label[label].gates < full.gates
+    assert by_label["fp32x2-only"].gates < 0.98 * full.gates

@@ -1,0 +1,19 @@
+"""Fig. 1: structure of the partial product generation.
+
+Inventory check: 17 rows, minimally redundant digits, the three odd
+multiple CPAs, the one-hot selection muxes and the negation XOR row.
+The benchmark times building + analyzing the PPGEN-bearing netlist.
+"""
+
+from repro.eval.experiments import experiment_fig1_ppgen
+
+
+def test_bench_fig1(benchmark, report_sink):
+    result = benchmark.pedantic(experiment_fig1_ppgen, rounds=1,
+                                iterations=1)
+    report_sink("fig1_ppgen", result.render())
+    rows = dict(result.rows)
+    assert rows["partial products (rows)"] == 17
+    assert rows["precomp gates"] > 0
+    assert rows["ppgen mux cells (AO22)"] >= 17 * 60  # ~4 per bit, 68 bits
+    assert rows["ppgen negation XORs"] >= 1000

@@ -1,0 +1,21 @@
+"""Fig. 3: the speculative combined normalization/rounding datapath.
+
+Sweeps random and boundary products through the dual-CPA scheme and
+validates against exact injection rounding, with special attention to
+the renormalization window where low-path rounding overflows.
+"""
+
+from repro.eval.experiments import experiment_fig3_normround
+
+
+def test_bench_fig3(benchmark, report_sink):
+    result = benchmark.pedantic(
+        experiment_fig3_normround, kwargs={"samples": 5000},
+        rounds=1, iterations=1)
+    report_sink("fig3_normround", result.render())
+    rows = dict(result.rows)
+    assert rows["mismatches vs exact rounding"] == 0
+    assert rows["cases checked"] >= 5000
+    assert rows["high path (P1) selected"] > 0
+    assert rows["low path (P0 << 1) selected"] > 0
+    assert rows["renormalized by rounding overflow"] >= 1

@@ -1,0 +1,55 @@
+"""Fig. 5: the 3-stage pipelined multi-format unit.
+
+Per-stage STA, register placement, achievable clock — compared with the
+paper's 1120 ps / 17.5 FO4 / 880 MHz figures — plus a mixed-format
+functional batch through the actual pipeline.
+"""
+
+import random
+
+from repro.bits.ieee754 import BINARY32, BINARY64
+from repro.core.formats import MFFormat, OperandBundle
+from repro.core.mfmult import MFMult
+from repro.core.pipeline_unit import MFMultUnit
+from repro.eval.experiments import cached_module, experiment_fig5_pipeline
+
+
+def _mixed_batch(n=30):
+    unit = MFMultUnit(module=cached_module("mf"))
+    mf = MFMult(fidelity="fast")
+    rng = random.Random(55)
+    ops = []
+    for i in range(n):
+        pick = i % 3
+        if pick == 0:
+            ops.append((OperandBundle.int64(rng.getrandbits(64),
+                                            rng.getrandbits(64)),
+                        MFFormat.INT64))
+        elif pick == 1:
+            ops.append((OperandBundle.fp64(
+                BINARY64.pack(rng.getrandbits(1), rng.randint(1, 2046),
+                              rng.getrandbits(52)),
+                BINARY64.pack(rng.getrandbits(1), rng.randint(1, 2046),
+                              rng.getrandbits(52))), MFFormat.FP64))
+        else:
+            enc = [BINARY32.pack(rng.getrandbits(1), rng.randint(1, 254),
+                                 rng.getrandbits(23)) for __ in range(4)]
+            ops.append((OperandBundle.fp32_pair(*enc), MFFormat.FP32X2))
+    results = unit.run_batch(ops)
+    for (bundle, fmt), res in zip(ops, results):
+        expect = mf.multiply(bundle, fmt)
+        assert (res.ph, res.pl) == (expect.ph, expect.pl)
+    return n
+
+
+def test_bench_fig5(benchmark, report_sink):
+    result = experiment_fig5_pipeline()
+    checked = benchmark.pedantic(_mixed_batch, rounds=1, iterations=1)
+    report_sink("fig5_pipeline",
+                result.render()
+                + f"\nmixed-format co-simulated operations: {checked}")
+    assert len(result.stage_delays_ps) == 3
+    assert 400 <= result.max_freq_mhz <= 1100     # paper: 880 MHz
+    # Both register cuts exist with stage-2's S/C bank the smaller one
+    # (the paper chose the placement with the fewest registers).
+    assert set(result.registers) == {1, 2}

@@ -1,0 +1,38 @@
+"""Sec. IV: power saved by demoting reducible binary64 operands.
+
+Runs the issue-level machine over mixed workloads, pricing cycles first
+with the paper's Table V power figures and then with our own measured
+ones — the savings trend must hold under both.
+"""
+
+import os
+
+from repro.core.vector_unit import FormatPowerTable
+from repro.eval.experiments import (
+    experiment_section4_savings,
+    experiment_table5,
+)
+
+N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "16"))
+
+
+def test_bench_section4(benchmark, report_sink):
+    with_paper_prices = benchmark.pedantic(
+        experiment_section4_savings, kwargs={"n_ops": 400},
+        rounds=1, iterations=1)
+
+    measured_table = experiment_table5(n_cycles=N_CYCLES).power_table()
+    with_measured_prices = experiment_section4_savings(
+        n_ops=400, power_table=measured_table)
+
+    text = (with_paper_prices.render()
+            .replace("(measured per-format power)",
+                     "(paper Table V power figures)")
+            + "\n\n" + with_measured_prices.render())
+    report_sink("section4_savings", text)
+
+    for result in (with_paper_prices, with_measured_prices):
+        savings = [row[3] for row in result.rows]
+        assert savings == sorted(savings)           # monotone in mix
+        assert savings[0] == 0.0
+        assert savings[-1] > 0.45                   # dual fp32 >2x efficient

@@ -1,0 +1,23 @@
+"""Table I: latency, area and critical path of the radix-16 multiplier.
+
+Regenerates the paper's Table I rows (critical-path segments, latency in
+ps and FO4, area in um^2 and K NAND2) from STA and area accounting on
+the structural netlist.  The benchmark times the full analysis flow.
+"""
+
+from repro.eval.experiments import PAPER, experiment_table1
+
+
+def test_bench_table1(benchmark, report_sink):
+    result = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    report_sink("table1_radix16", result.render())
+
+    paper = PAPER["table1"]
+    # Shape assertions: within a 0.5x..1.5x band of every paper figure,
+    # and the tree shallower than radix-4's (checked in bench_table2).
+    assert 0.5 * paper["latency_ps"] <= result.latency_ps \
+        <= 1.5 * paper["latency_ps"]
+    assert 0.5 * paper["area_um2"] <= result.area_um2 \
+        <= 1.5 * paper["area_um2"]
+    assert result.segments_ps["precomp"] > 0
+    assert result.segments_ps["tree"] > result.segments_ps["ppgen"]

@@ -1,0 +1,21 @@
+"""Table II: latency, area and critical path of the radix-4 baseline.
+
+Also checks the paper's comparative claims against Table I: the radix-4
+unit is faster (paper: ~20%) with a substantially larger reduction tree.
+"""
+
+from repro.eval.experiments import PAPER, experiment_table1, experiment_table2
+
+
+def test_bench_table2(benchmark, report_sink):
+    result = benchmark.pedantic(experiment_table2, rounds=1, iterations=1)
+    report_sink("table2_radix4", result.render())
+
+    r16 = experiment_table1()
+    # Comparative claims of Sec. II-A.
+    assert result.latency_ps < r16.latency_ps
+    assert 0.70 < result.latency_ps / r16.latency_ps < 0.98
+    assert result.segments_ps["tree"] > r16.segments_ps["tree"]
+    paper = PAPER["table2"]
+    assert 0.5 * paper["latency_ps"] <= result.latency_ps \
+        <= 1.5 * paper["latency_ps"]

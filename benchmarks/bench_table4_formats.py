@@ -1,0 +1,23 @@
+"""Table IV: the IEEE 754-2008 binary format parameters.
+
+A constants table — the benchmark asserts our codec layer derives every
+entry of the paper's Table IV rather than hard-coding it.
+"""
+
+from repro.eval.experiments import experiment_table4
+
+EXPECTED = {
+    "storage (bits)": (16, 32, 64, 128),
+    "precision p (bits)": (11, 24, 53, 113),
+    "exponent length (bits)": (5, 8, 11, 15),
+    "Emax": (15, 127, 1023, 16383),
+    "bias": (15, 127, 1023, 16383),
+    "trailing significand f": (10, 23, 52, 112),
+}
+
+
+def test_bench_table4(benchmark, report_sink):
+    result = benchmark.pedantic(experiment_table4, rounds=1, iterations=1)
+    report_sink("table4_formats", result.render())
+    rows = {r[0]: tuple(r[1:]) for r in result.rows}
+    assert rows == EXPECTED

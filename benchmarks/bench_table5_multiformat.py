@@ -1,0 +1,34 @@
+"""Table V: power and power efficiency of the multi-format unit.
+
+The headline result: per-format power ordering int64 > binary64 > dual
+binary32 > single binary32, and efficiency (GFLOPS/W) dominated by the
+dual binary32 mode at roughly 2.8x the binary64 figure.
+"""
+
+import os
+
+from repro.eval.experiments import experiment_table5
+
+N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "16"))
+
+
+def test_bench_table5(benchmark, report_sink):
+    result = benchmark.pedantic(
+        experiment_table5, kwargs={"n_cycles": N_CYCLES},
+        rounds=1, iterations=1)
+    text = result.render() + (
+        f"\nmeasured max clock: {result.max_freq_mhz:.0f} MHz "
+        f"(paper: 880 MHz)")
+    report_sink("table5_multiformat", text)
+
+    mw = {k: v[0] for k, v in result.measured.items()}
+    eff = {k: v[2] for k, v in result.measured.items()}
+    # Power ordering (paper: 8.90 > 7.20 > 5.17 > 3.77).
+    assert mw["int64"] > mw["fp64"] > mw["fp32_dual"] > mw["fp32_single"]
+    # Efficiency ordering (paper: 38.68 > 26.53 > 13.89 > 11.24).
+    assert eff["fp32_dual"] > eff["fp32_single"] > eff["fp64"] > eff["int64"]
+    # Dual binary32 roughly doubles-to-triples binary64's efficiency
+    # (paper: 2.8x).
+    assert 1.8 <= eff["fp32_dual"] / eff["fp64"] <= 3.8
+    # fp64 consumes roughly 80% of int64 (paper: 0.81).
+    assert 0.70 <= mw["fp64"] / mw["int64"] <= 0.95

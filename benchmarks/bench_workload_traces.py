@@ -1,0 +1,43 @@
+"""Sec. IV on named workload families.
+
+Extends the abstract reducible-fraction sweep with synthetic traces of
+recognizable applications (DSP filtering, graphics transforms,
+quantized ML inference, scientific computing, finance), measuring each
+family's Algorithm-1 reducibility and the resulting energy savings on
+the demoting machine.
+"""
+
+from repro.core.vector_unit import FormatPowerTable, VectorMultiplier
+from repro.eval.tables import render_table
+from repro.eval.traces import TRACES, generate_trace, reducibility
+
+
+def run_trace_study(n_ops=300):
+    table = FormatPowerTable()
+    rows = []
+    for name in sorted(TRACES):
+        pairs = generate_trace(name, n_ops)
+        red = reducibility(pairs)
+        stats = VectorMultiplier().run(pairs).stats
+        rows.append((name, TRACES[name].description,
+                     f"{red:.1%}",
+                     f"{stats.demoted_operations}/{n_ops}",
+                     f"{stats.savings_fraction(table):.1%}"))
+    return rows
+
+
+def test_bench_workload_traces(benchmark, report_sink):
+    rows = benchmark.pedantic(run_trace_study, rounds=1, iterations=1)
+    text = render_table(
+        ("workload", "operands", "reducible", "demoted", "energy saved"),
+        rows, title="Sec. IV across workload families (paper Table V "
+                    "prices)")
+    report_sink("workload_traces", text)
+
+    by_name = {r[0]: r for r in rows}
+    # Savings track reducibility: the quantized families save real
+    # energy, the full-precision one saves none.
+    assert by_name["scientific"][4] == "0.0%"
+    assert float(by_name["dsp_fir"][4].rstrip("%")) > 40
+    assert float(by_name["ml_inference"][4].rstrip("%")) > 30
+    assert float(by_name["graphics"][4].rstrip("%")) > 20

@@ -1,0 +1,26 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+paper-vs-measured report, and records it under ``benchmarks/results/``
+so the numbers survive the run (EXPERIMENTS.md references them).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report_sink():
+    """Print a rendered experiment report and persist it to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def sink(name, text):
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return sink

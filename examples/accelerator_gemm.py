@@ -1,0 +1,86 @@
+"""Quantized GEMM on a multi-lane MFmult accelerator.
+
+Run:  python examples/accelerator_gemm.py
+
+Models the paper's target system — an accelerator issuing several
+multiplications per cycle — doing what such accelerators actually do:
+matrix multiplication with quantized weights.  Weights are int8-scaled
+(exactly representable in binary32, so Algorithm 1 demotes them);
+activations are either quantized (demotable) or full-precision fp64.
+
+The study compares the demoting accelerator against an all-binary64
+machine on lane-cycles, wall-cycles and energy, and reports the actual
+numerical error introduced.
+"""
+
+import random
+
+from repro.core.accelerator import Accelerator
+from repro.core.vector_unit import FormatPowerTable
+
+
+def make_matrices(n, rng, quantized_activations):
+    weights = [[(rng.randint(-127, 127) or 1) / 128.0 for __ in range(n)]
+               for __ in range(n)]
+    if quantized_activations:
+        acts = [[(1 + rng.getrandbits(16) / 65536.0)
+                 * 2.0 ** rng.randint(-4, 4) for __ in range(n)]
+                for __ in range(n)]
+    else:
+        acts = [[rng.uniform(0.01, 16.0) for __ in range(n)]
+                for __ in range(n)]
+    return weights, acts
+
+
+def reference_gemm(a, b):
+    n = len(a)
+    return [[sum(a[i][k] * b[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)]
+
+
+def worst_relative_error(c, ref):
+    worst = 0.0
+    for row_c, row_r in zip(c, ref):
+        for got, want in zip(row_c, row_r):
+            if want:
+                worst = max(worst, abs(got - want) / abs(want))
+    return worst
+
+
+def main():
+    rng = random.Random(2017)
+    n = 10
+    table = FormatPowerTable()
+
+    print(f"{n}x{n} GEMM, int8-quantized weights, 8 lanes\n")
+    header = (f"{'activations':<22} {'demoted':>9} {'lane-cyc':>9} "
+              f"{'wall-cyc':>9} {'energy pJ':>10} {'saved':>7} "
+              f"{'worst rel err':>14}")
+    print(header)
+    print("-" * len(header))
+
+    for label, quantized in (("quantized (binary32)", True),
+                             ("full-precision fp64", False)):
+        a, b = make_matrices(n, rng, quantized)
+        ref = reference_gemm(a, b)
+
+        acc = Accelerator(lanes=8, use_reduction=True, power_table=table)
+        c, report = acc.gemm(a, b)
+        energy = acc.compare_energy(report)
+        err = worst_relative_error(c, ref)
+        print(f"{label:<22} {report.stats.demoted_operations:>5}/"
+              f"{report.stats.total_operations:<4}"
+              f"{report.lane_cycles:>8} {report.wall_cycles:>9} "
+              f"{energy['energy_pj']:>10.0f} {energy['savings']:>6.1%} "
+              f"{err:>14.2e}")
+
+    print("\nQuantized activations let the reducer demote every product "
+          "onto the dual\nbinary32 lanes — half the cycles and about a "
+          "third of the energy of the same\nGEMM on the binary64 path. "
+          "Here the demotion is even error-free: the\nquantized "
+          "mantissas' products fit binary32 exactly, which is precisely "
+          "the\ncase Algorithm 1 was designed to catch.")
+
+
+if __name__ == "__main__":
+    main()

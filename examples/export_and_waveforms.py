@@ -1,0 +1,68 @@
+"""Export the gate-level designs to Verilog and dump waveforms.
+
+Run:  python examples/export_and_waveforms.py [outdir]
+
+Produces, under ``outdir`` (default ``./export_out``):
+
+* ``reducer.v`` / ``reducer_tb.v``  — the Fig. 6 reducer and a
+  self-checking testbench (vectors + expected values from this
+  package's reference simulation);
+* ``mfmult.v``                      — the full 3-stage multi-format unit;
+* ``mfmult.vcd``                    — a waveform of a mixed-format batch
+  through the pipeline, viewable in GTKWave.
+
+This closes the loop with a real EDA flow: the netlists evaluated in
+this reproduction can be handed to a synthesis tool or simulator as-is.
+"""
+
+import os
+import random
+import sys
+
+from repro.core.pipeline_unit import (
+    FRMT_FP32X2,
+    FRMT_FP64,
+    FRMT_INT64,
+    build_mf_multiplier,
+)
+from repro.circuits.reducer import build_reducer
+from repro.hdl.export import to_verilog_testbench, write_verilog
+from repro.hdl.sim.levelized import LevelizedSimulator
+from repro.hdl.sim.waveform import dump_vcd
+
+
+def main():
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "export_out"
+    os.makedirs(outdir, exist_ok=True)
+    rng = random.Random(2017)
+
+    reducer = build_reducer()
+    write_verilog(reducer, os.path.join(outdir, "reducer.v"))
+    vectors = {"d": [rng.getrandbits(64) for __ in range(12)]
+               + [(1023 << 52) | (rng.getrandbits(23) << 29)
+                  for __ in range(4)]}
+    tb = to_verilog_testbench(reducer, vectors, 16)
+    with open(os.path.join(outdir, "reducer_tb.v"), "w") as fh:
+        fh.write(tb)
+    print(f"reducer: {len(reducer.gates)} cells -> reducer.v + "
+          f"self-checking reducer_tb.v (16 vectors)")
+
+    unit = build_mf_multiplier()
+    write_verilog(unit, os.path.join(outdir, "mfmult.v"))
+    print(f"mfmult : {len(unit.gates)} cells, {len(unit.registers)} FFs "
+          f"-> mfmult.v")
+
+    stim = {"x": [], "y": [], "frmt": []}
+    for code in (FRMT_INT64, FRMT_FP64, FRMT_FP32X2, FRMT_INT64,
+                 FRMT_FP32X2, FRMT_FP64, FRMT_INT64, FRMT_FP64):
+        stim["x"].append(rng.getrandbits(64) | (1 << 52) | (1 << 23))
+        stim["y"].append(rng.getrandbits(64) | (1 << 52) | (1 << 23))
+        stim["frmt"].append(code)
+    run = LevelizedSimulator(unit).run(stim, 8)
+    path = dump_vcd(unit, run, os.path.join(outdir, "mfmult.vcd"))
+    print(f"waveform: 8 mixed-format cycles -> {path}")
+    print(f"\nall artifacts in {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

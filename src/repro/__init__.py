@@ -1,0 +1,50 @@
+"""repro — reproduction of Nannarelli's multi-format FP multiplier (SOCC 2017).
+
+The package is layered bottom-up:
+
+* :mod:`repro.bits`     — bit vectors and IEEE 754 codecs (Table IV);
+* :mod:`repro.arith`    — reference arithmetic algorithms (recoding,
+  partial products, compressor trees, adders, Fig. 3 rounding);
+* :mod:`repro.hdl`      — the gate-level substrate (netlists, cell
+  library, simulation, timing, area, power, pipelining);
+* :mod:`repro.circuits` — structural circuit generators mirroring the
+  reference algorithms;
+* :mod:`repro.core`     — the multi-format multiplier (functional and
+  structural) and the binary64 -> binary32 reducer;
+* :mod:`repro.eval`     — workloads and the experiment harness that
+  regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import MFMult
+    mf = MFMult()
+    print(mf.mul_fp64(1.5, 2.5))                 # 3.75 via the fp64 path
+    print(mf.mul_fp32_pair((1.5, 3.0), (2.0, 7.0)))  # dual-lane binary32
+"""
+
+from repro.core import (
+    Flag,
+    MFFormat,
+    MFMult,
+    OperandBundle,
+    ResultBundle,
+    RoundingMode,
+    VectorMultiplier,
+    is_reducible,
+    reduce_binary64,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flag",
+    "MFFormat",
+    "MFMult",
+    "OperandBundle",
+    "ResultBundle",
+    "RoundingMode",
+    "VectorMultiplier",
+    "is_reducible",
+    "reduce_binary64",
+    "__version__",
+]

@@ -1,0 +1,187 @@
+"""Reference models of the carry-propagate adders used in the datapath.
+
+The structural adders in :mod:`repro.circuits.adders` are generated from
+the same recurrences; these functions expose the internal carry vectors
+so the tests can compare the two layers node by node, not just at the
+outputs.
+"""
+
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+
+def _check(a, b, width):
+    for v in (a, b):
+        if v < 0 or v > mask(width):
+            raise BitWidthError(f"{v:#x} is not an unsigned {width}-bit value")
+
+
+def ripple_add(a, b, width, carry_in=0):
+    """Ripple-carry addition; returns ``(sum, carry_out, carries)``.
+
+    ``carries[i]`` is the carry *into* bit ``i`` (``carries[0]`` is the
+    carry-in), so the list has ``width + 1`` entries.
+    """
+    _check(a, b, width)
+    carries = [carry_in]
+    total = 0
+    c = carry_in
+    for i in range(width):
+        ai = (a >> i) & 1
+        bi = (b >> i) & 1
+        s = ai ^ bi ^ c
+        c = (ai & bi) | (ai & c) | (bi & c)
+        total |= s << i
+        carries.append(c)
+    return total, c, carries
+
+
+def propagate_generate(a, b, width):
+    """Bitwise propagate/generate words for prefix adders."""
+    _check(a, b, width)
+    return a ^ b, a & b
+
+
+def kogge_stone_carries(a, b, width, carry_in=0):
+    """Carries of a Kogge-Stone prefix adder; returns ``(sum, cout, carries)``.
+
+    The prefix network combines (g, p) pairs with span doubling each
+    level — ``ceil(log2(width))`` levels, minimal depth, maximal wiring.
+    This is the adder style used for the paper's "fast CPAs".
+    """
+    p, g = propagate_generate(a, b, width)
+    gp = [((g >> i) & 1, (p >> i) & 1) for i in range(width)]
+    span = 1
+    while span < width:
+        nxt = list(gp)
+        for i in range(span, width):
+            gi, pi = gp[i]
+            gj, pj = gp[i - span]
+            nxt[i] = (gi | (pi & gj), pi & pj)
+        gp = nxt
+        span <<= 1
+    carries = [carry_in]
+    for i in range(width):
+        gi, pi = gp[i]
+        carries.append(gi | (pi & carry_in))
+    total = 0
+    for i in range(width):
+        s = ((p >> i) & 1) ^ carries[i]
+        total |= s << i
+    return total, carries[width], carries
+
+
+def brent_kung_carries(a, b, width, carry_in=0):
+    """Carries of a Brent-Kung prefix adder (sparse tree, ~2 log2 n depth).
+
+    Cheaper in area than Kogge-Stone, slower — one point of the CPA
+    ablation in the benchmarks.
+    """
+    p, g = propagate_generate(a, b, width)
+    gp = {}
+    for i in range(width):
+        gp[(i, i)] = ((g >> i) & 1, (p >> i) & 1)
+
+    def combine(hi, lo_hi, lo_lo):
+        gh, ph = gp[lo_hi]
+        gl, pl = gp[lo_lo]
+        gp[hi] = (gh | (ph & gl), ph & pl)
+
+    # Up-sweep: build power-of-two group terms.
+    span = 1
+    while span < width:
+        for i in range(2 * span - 1, width, 2 * span):
+            combine((i - 2 * span + 1, i), (i - span + 1, i), (i - 2 * span + 1, i - span))
+        span <<= 1
+    # Down-sweep: fill in the remaining prefixes (0..i).
+    prefixes = {}
+    for i in range(width):
+        lo = 0
+        acc = None
+        j = i
+        # Decompose [0, i] into the power-of-two groups available above.
+        while j >= lo:
+            size = 1
+            while lo % (2 * size) == 0 and lo + 2 * size - 1 <= j:
+                size *= 2
+            seg = (lo, lo + size - 1)
+            gseg, pseg = gp[seg]
+            if acc is None:
+                acc = (gseg, pseg)
+            else:
+                ga, pa = acc
+                acc = (gseg | (pseg & ga), pseg & pa)
+            lo += size
+        prefixes[i] = acc
+    carries = [carry_in]
+    for i in range(width):
+        gi, pi = prefixes[i]
+        carries.append(gi | (pi & carry_in))
+    total = 0
+    for i in range(width):
+        s = ((p >> i) & 1) ^ carries[i]
+        total |= s << i
+    return total, carries[width], carries
+
+
+def carry_select_add(a, b, width, block=8, carry_in=0):
+    """Carry-select addition with fixed-size blocks.
+
+    Each block is computed for both carry-in values; the real carry
+    selects.  Another point of the CPA ablation.
+    """
+    _check(a, b, width)
+    total = 0
+    c = carry_in
+    for lo in range(0, width, block):
+        w = min(block, width - lo)
+        ab = (a >> lo) & mask(w)
+        bb = (b >> lo) & mask(w)
+        s0 = ab + bb
+        s1 = ab + bb + 1
+        chosen = s1 if c else s0
+        total |= (chosen & mask(w)) << lo
+        c = chosen >> w
+    return total, c
+
+
+def multi_window_add(a, b, width, boundaries):
+    """Addition with carries killed at every boundary position.
+
+    ``boundaries`` are ascending bit positions inside ``(0, width)``;
+    each window ``[lo, hi)`` sums independently (the generalization of
+    the paper's divided CPA to more than two lanes).
+    """
+    _check(a, b, width)
+    cuts = [0] + sorted(boundaries) + [width]
+    for lo, hi in zip(cuts, cuts[1:]):
+        if not 0 <= lo < hi <= width:
+            raise BitWidthError(f"bad window ({lo}, {hi}) for width {width}")
+    total = 0
+    for lo, hi in zip(cuts, cuts[1:]):
+        w = hi - lo
+        window = (((a >> lo) & mask(w)) + ((b >> lo) & mask(w))) & mask(w)
+        total |= window << lo
+    return total
+
+
+def lane_split_add(a, b, width, boundary, split, carry_in=0):
+    """Addition with an optional carry kill at ``boundary``.
+
+    This models the paper's divided CPA for dual binary32 operation
+    (Sec. III-B): when ``split`` is true the carry out of bit
+    ``boundary - 1`` is not propagated into bit ``boundary``.
+    """
+    _check(a, b, width)
+    if not 0 < boundary < width:
+        raise BitWidthError(f"boundary {boundary} must be inside (0, {width})")
+    lo_w = boundary
+    hi_w = width - boundary
+    lo_sum = (a & mask(lo_w)) + (b & mask(lo_w)) + carry_in
+    lo_carry = lo_sum >> lo_w
+    lo_sum &= mask(lo_w)
+    hi_cin = 0 if split else lo_carry
+    hi_sum = ((a >> lo_w) & mask(hi_w)) + ((b >> lo_w) & mask(hi_w)) + hi_cin
+    cout = hi_sum >> hi_w
+    hi_sum &= mask(hi_w)
+    return lo_sum | (hi_sum << lo_w), cout

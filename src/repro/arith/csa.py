@@ -1,0 +1,66 @@
+"""Carry-save addition primitives (reference semantics).
+
+These are the bit-level building blocks of the reduction tree
+(Sec. II): full adders (3:2 compressors), half adders, and the 4:2
+compressor built from two chained full adders.
+"""
+
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+
+def half_adder(a, b):
+    """Return ``(sum, carry)`` of two bits."""
+    _check_bits(a, b)
+    return a ^ b, a & b
+
+
+def full_adder(a, b, c):
+    """Return ``(sum, carry)`` of three bits (a 3:2 compressor)."""
+    _check_bits(a, b, c)
+    s = a ^ b ^ c
+    carry = (a & b) | (a & c) | (b & c)
+    return s, carry
+
+
+def compress_4_2(a, b, c, d, cin):
+    """A 4:2 compressor cell: 5 inputs in, ``(sum, carry, cout)`` out.
+
+    Built from two chained full adders; ``cout`` depends only on
+    ``a, b, c`` so a row of 4:2 cells has no horizontal ripple.
+    """
+    _check_bits(a, b, c, d, cin)
+    s1, cout = full_adder(a, b, c)
+    s, carry = full_adder(s1, d, cin)
+    return s, carry, cout
+
+
+def compress_3_2(word_a, word_b, word_c, width):
+    """Word-level carry-save addition: three words to ``(sum, carry)``.
+
+    ``sum`` keeps the bitwise XOR; ``carry`` is the majority shifted one
+    position left.  The invariant ``a + b + c == sum + carry`` holds
+    modulo ``2**(width+1)``.
+    """
+    for w in (word_a, word_b, word_c):
+        if w < 0 or w > mask(width):
+            raise BitWidthError(f"{w:#x} is not an unsigned {width}-bit value")
+    s = word_a ^ word_b ^ word_c
+    carry = ((word_a & word_b) | (word_a & word_c) | (word_b & word_c)) << 1
+    return s, carry
+
+
+def compress_words_4_2(word_a, word_b, word_c, word_d, width):
+    """Word-level 4:2 compression of four words to ``(sum, carry)``.
+
+    Invariant: ``a + b + c + d == sum + carry`` (modulo ``2**(width+2)``).
+    """
+    s1, c1 = compress_3_2(word_a, word_b, word_c, width)
+    s, c2 = compress_3_2(s1, c1, word_d, width + 1)
+    return s, c2
+
+
+def _check_bits(*bits):
+    for b in bits:
+        if b not in (0, 1):
+            raise BitWidthError(f"expected a bit, got {b!r}")

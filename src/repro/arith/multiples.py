@@ -1,0 +1,78 @@
+"""Pre-computation of the multiplicand multiples needed by high radices.
+
+Radix-16 PP generation selects among ``{0, X, 2X, ..., 8X}``.  The even
+multiples are wiring (left shifts); the *odd* multiples 3X, 5X and 7X
+each need one carry-propagate addition (Sec. II):
+
+*   ``3X = X + 2X``
+*   ``5X = X + 4X``
+*   ``7X = X + 8X ... `` — the paper computes ``7X = 8X - X``?  No: it
+    lists ``8X + X = 7X`` with a typo; the adder actually implemented is
+    ``8X - X`` (equivalently ``8X + ~X + 1``).  We implement ``7X = 8X - X``
+    because it is a single CPA like the others, and we also expose the
+    alternative ``7X = 3X + 4X`` (which would serialize two CPAs) for the
+    ablation study.
+
+``6X`` is ``3X`` shifted left once, again wiring.
+"""
+
+from dataclasses import dataclass
+
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+
+@dataclass(frozen=True)
+class MultipleSet:
+    """All multiples ``0..max_multiple`` of a ``width``-bit multiplicand.
+
+    ``multiple(m)`` returns ``m * x`` exactly; every value fits in
+    ``width + ceil(log2(max_multiple))`` bits.
+    """
+
+    x: int
+    width: int
+    max_multiple: int
+
+    def __post_init__(self):
+        if self.x < 0 or self.x > mask(self.width):
+            raise BitWidthError(
+                f"{self.x:#x} is not an unsigned {self.width}-bit value"
+            )
+        if self.max_multiple < 1:
+            raise BitWidthError("max_multiple must be >= 1")
+
+    @property
+    def result_width(self):
+        """Bits needed to hold the largest multiple."""
+        extra = (self.max_multiple).bit_length()
+        return self.width + extra
+
+    def multiple(self, m):
+        if not 0 <= m <= self.max_multiple:
+            raise BitWidthError(
+                f"multiple {m} outside supported range 0..{self.max_multiple}"
+            )
+        return m * self.x
+
+    def odd_multiples_needed(self):
+        """The odd multiples > 1 requiring a carry-propagate addition."""
+        return [m for m in range(3, self.max_multiple + 1, 2)]
+
+
+def odd_multiples(x, width, radix_log2):
+    """Compute the odd multiples a radix-``2**k`` PP generator pre-computes.
+
+    Returns a dict ``{m: m*x}`` for odd ``m`` in ``3 .. 2**(k-1)-1`` plus
+    the top multiple when it is odd.  For radix-16 (``k=4``) this is
+    ``{3: 3x, 5: 5x, 7: 7x}``, exactly the three CPAs of Fig. 1.
+    """
+    if x < 0 or x > mask(width):
+        raise BitWidthError(f"{x:#x} is not an unsigned {width}-bit value")
+    top = 1 << (radix_log2 - 1)
+    return {m: m * x for m in range(3, top + 1) if m % 2 == 1}
+
+
+def multiples_for_radix(x, width, radix_log2):
+    """Build the full :class:`MultipleSet` used by a radix-``2**k`` PPGEN."""
+    return MultipleSet(x=x, width=width, max_multiple=1 << (radix_log2 - 1))

@@ -1,0 +1,369 @@
+"""Partial-product array construction with sign-extension reduction.
+
+This module is the reference model of the paper's PP array (Sec. II and
+Fig. 4).  Each partial product row for a recoded digit ``d`` and
+multiplicand ``X`` contributes ``d * X * 2**offset`` to the product, but
+is *encoded* so that the array contains only non-negative bit patterns:
+
+*   the magnitude ``|d| * X`` is selected from the multiple set;
+*   for negative digits the pattern is bitwise complemented (the XOR row
+    of Fig. 1) and a single ``+1`` carry bit is injected at the row's
+    LSB weight (two's complement);
+*   the costly replication of the sign bit across the whole array
+    ("sign extension") is avoided by the standard reduction-and-
+    correction method [Ercegovac & Lang]: the encoded row keeps the
+    *complement* of its sign bit at the top of its field and a single
+    precomputed **correction constant** row repairs the sum.
+
+Derivation (``w`` = field width = ``n + k``, ``s`` = sign of the row,
+``plow`` = low ``w-1`` pattern bits):
+
+    d*X  =  plow + carry + (1-s) * 2**(w-1)  -  2**(w-1)
+
+so summing ``payload = plow | (1-s) << (w-1)`` plus the carry bit for
+every row, plus the constant ``-sum(2**(offset_i + w - 1))``, yields the
+exact product.  The constant is folded into one non-negative row modulo
+the array window width.
+
+**Dual-lane arrays (Fig. 4).**  For the two independent binary32
+multiplications the array is split into two *windows*: bits ``[0, 64)``
+hold ``X*Y`` and bits ``[64, 128)`` hold ``W*Z``.  Carries are killed at
+the window boundary (the "correct carry-propagation" of Sec. III-B) and
+each window has its own lane-local correction constant.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.arith.recoding import recode_minimally_redundant
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+
+@dataclass(frozen=True)
+class PPRow:
+    """One encoded partial product row.
+
+    The row contributes ``(payload + carry) * 2**offset`` to the array
+    sum (the correction constant accounts for the sign-extension term).
+    """
+
+    payload: int        # non-negative encoded pattern, ``width`` bits
+    offset: int         # weight: row value is payload * 2**offset
+    carry: int          # 0/1 two's complement "+1" bit at 2**offset
+    width: int          # field width in bits (n + k for signed rows)
+    signed: bool        # True when the sign-extension encoding applies
+    digit: int          # the recoded digit this row implements
+    lane: str = "full"  # "full", "lo" or "hi" (dual binary32 lanes)
+
+    def __post_init__(self):
+        if self.payload < 0 or self.payload > mask(self.width):
+            raise BitWidthError(
+                f"payload {self.payload:#x} does not fit in {self.width} bits"
+            )
+        if self.carry not in (0, 1):
+            raise BitWidthError(f"carry must be 0 or 1, got {self.carry}")
+
+    @property
+    def msb_position(self):
+        """Absolute bit position of the row's top field bit."""
+        return self.offset + self.width - 1
+
+
+@dataclass(frozen=True)
+class PPArray:
+    """A complete encoded partial product array.
+
+    ``windows`` lists the carry-isolation regions as ``(lo, hi)`` bit
+    ranges; in single-format mode there is one window covering the whole
+    product, in dual binary32 mode there are two (Fig. 4).
+    ``corrections`` holds one non-negative constant per window, already
+    reduced modulo the window width and positioned absolutely.
+    """
+
+    rows: Tuple[PPRow, ...]
+    corrections: Tuple[Tuple[int, int], ...]  # (constant_value, window_lo)
+    windows: Tuple[Tuple[int, int], ...]
+    product_width: int
+
+    def window_of(self, position):
+        for lo, hi in self.windows:
+            if lo <= position < hi:
+                return (lo, hi)
+        raise BitWidthError(f"bit {position} is outside every window")
+
+    def total(self):
+        """Sum the array with carries killed at window boundaries.
+
+        This is the value the compressor tree + lane-split CPA produce.
+        """
+        result = 0
+        for lo, hi in self.windows:
+            acc = 0
+            for row in self.rows:
+                if lo <= row.offset < hi:
+                    if row.msb_position >= hi:
+                        raise BitWidthError(
+                            f"row at offset {row.offset} crosses window ({lo},{hi})"
+                        )
+                    acc += (row.payload + row.carry) << (row.offset - lo)
+            for value, wlo in self.corrections:
+                if wlo == lo:
+                    acc += value
+            result += (acc & mask(hi - lo)) << lo
+        return result
+
+    def max_height(self):
+        """Maximum number of array bits stacked in any column.
+
+        Sec. II: 17 for the 64-bit radix-16 array (before the [8]
+        height-reduction trick).
+        """
+        heights = [0] * self.product_width
+        for row in self.rows:
+            for b in range(row.width):
+                pos = row.offset + b
+                if pos < self.product_width:
+                    heights[pos] += 1
+            if row.signed:  # the "+1" slot exists whenever the digit may be < 0
+                heights[row.offset] += 1
+        for value, wlo in self.corrections:
+            b = 0
+            v = value
+            while v:
+                if v & 1:
+                    heights[wlo + b] += 1
+                v >>= 1
+                b += 1
+        return max(heights) if heights else 0
+
+
+def _signed_possible(group_index, width, radix_log2):
+    """A recoded digit can only be negative when its group MSB exists."""
+    return radix_log2 * group_index + radix_log2 - 1 < width
+
+
+def build_pp_array(
+    x,
+    y,
+    width=64,
+    radix_log2=4,
+    offset=0,
+    window=None,
+    lane="full",
+    product_width=None,
+):
+    """Build the encoded PP array for one ``width x width`` multiplication.
+
+    ``offset`` shifts the whole array (used to place the upper binary32
+    lane at bit 64); ``window`` is the carry-isolation range, defaulting
+    to ``(offset, offset + 2*width_rounded)``.
+    """
+    k = radix_log2
+    if product_width is None:
+        product_width = offset + 2 * width
+    if window is None:
+        window = (offset, product_width)
+    wlo, whi = window
+    digits = recode_minimally_redundant(y, width, k)
+    rows = []
+    correction = 0
+    for i, d in enumerate(digits):
+        row_offset = offset + k * i
+        if _signed_possible(i, width, k):
+            w = width + k
+            m = abs(d) * x
+            if d < 0:
+                pattern = m ^ mask(w)
+                carry = 1
+            else:
+                pattern = m
+                carry = 0
+            payload = pattern ^ (1 << (w - 1))  # store complement of sign
+            rows.append(
+                PPRow(payload=payload, offset=row_offset, carry=carry,
+                      width=w, signed=True, digit=d, lane=lane)
+            )
+            correction -= 1 << (row_offset + w - 1)
+        else:
+            # Rows whose group extends past the operand width can never
+            # go negative: no encoding, no correction.  Their digit is
+            # also provably bounded, which bounds the row field.
+            avail = max(0, width - k * i)
+            if avail == 0:
+                prev_msb_exists = i > 0 and (k * (i - 1) + k - 1) < width
+                max_digit = 1 if prev_msb_exists else 0
+            else:
+                max_digit = 1 << avail
+            if max_digit == 0:
+                if d != 0:
+                    raise BitWidthError(
+                        f"digit {d} in a provably-zero row {i}")
+                continue
+            payload = d * x
+            w = width + max(0, max_digit.bit_length() - 1)
+            rows.append(
+                PPRow(payload=payload, offset=row_offset, carry=0,
+                      width=w, signed=False, digit=d, lane=lane)
+            )
+    # The correction was accumulated at absolute bit positions (all of
+    # them >= wlo); reduce it to window-local coordinates before folding
+    # modulo the window width.
+    if correction % (1 << wlo):
+        raise BitWidthError("correction bits below the window base")
+    correction_local = (correction >> wlo) % (1 << (whi - wlo))
+    return PPArray(
+        rows=tuple(rows),
+        corrections=((correction_local, wlo),),
+        windows=(window,),
+        product_width=product_width,
+    )
+
+
+def build_signed_pp_array(x, y, width=64, radix_log2=4, product_width=None):
+    """PP array for a **signed** (two's complement) multiplication.
+
+    A classic property of minimally redundant recoding: for a two's
+    complement multiplier the final transfer digit is simply *dropped*
+    (its weight 2**width contribution cancels the sign bit's -2**width),
+    and each row multiplies the sign-extended multiplicand.  The paper's
+    unit is unsigned-only; this is the natural signed extension kept at
+    the reference level (tests cross-check against Python ``*``).
+
+    ``x`` and ``y`` are given as ``width``-bit two's complement patterns;
+    the array total, reduced modulo ``2**product_width``, is the signed
+    product's two's complement encoding.
+    """
+    from repro.bits.utils import from_twos_complement
+
+    k = radix_log2
+    if product_width is None:
+        product_width = 2 * width
+    if width % k:
+        raise BitWidthError(
+            f"signed arrays need width divisible by {k} (got {width})"
+        )
+    x_signed = from_twos_complement(x, width)
+    digits = recode_minimally_redundant(y, width, k)[:-1]   # drop transfer
+    w = width + k
+    rows = []
+    correction = 0
+    for i, d in enumerate(digits):
+        row_offset = k * i
+        value = d * x_signed                 # in (-2**(w-1), 2**(w-1))
+        payload_full = value & mask(w)
+        sign = (payload_full >> (w - 1)) & 1
+        payload = payload_full ^ (1 << (w - 1))   # store complement of sign
+        rows.append(PPRow(payload=payload, offset=row_offset, carry=0,
+                          width=w, signed=True, digit=d))
+        correction -= 1 << (row_offset + w - 1)
+    correction_local = correction % (1 << product_width)
+    return PPArray(
+        rows=tuple(rows),
+        corrections=((correction_local, 0),),
+        windows=((0, product_width),),
+        product_width=product_width,
+    )
+
+
+def build_dual_lane_pp_array(x_lo, y_lo, x_hi, y_hi, lane_width=24,
+                             radix_log2=4, product_width=128):
+    """Build the dual binary32 array of Fig. 4.
+
+    The lower lane computes ``x_lo * y_lo`` in bits ``[0, 64)``; the
+    upper lane computes ``x_hi * y_hi`` in bits ``[64, 128)``.  Each lane
+    is a complete ``lane_width x lane_width`` radix-``2**k`` array with
+    its own sign-extension correction; no row and no correction bit
+    crosses the boundary, so killing the column-64 carry fully decouples
+    the lanes (property-tested).
+    """
+    boundary = product_width // 2
+    lo = build_pp_array(
+        x_lo, y_lo, width=lane_width, radix_log2=radix_log2,
+        offset=0, window=(0, boundary), lane="lo", product_width=product_width,
+    )
+    hi = build_pp_array(
+        x_hi, y_hi, width=lane_width, radix_log2=radix_log2,
+        offset=boundary, window=(boundary, product_width), lane="hi",
+        product_width=product_width,
+    )
+    return PPArray(
+        rows=lo.rows + hi.rows,
+        corrections=lo.corrections + hi.corrections,
+        windows=((0, boundary), (boundary, product_width)),
+        product_width=product_width,
+    )
+
+
+def build_quad_lane_pp_array(xs, ys, lane_width=11, radix_log2=4,
+                             product_width=128):
+    """Four independent binary16 lanes at 32-bit pitch (extension).
+
+    Not part of the paper's unit: it demonstrates that the Fig. 4
+    sectioning generalizes — four 11-bit significand products fit the
+    same 128-bit array with three carry-kill boundaries.  Lane ``k``
+    computes ``xs[k] * ys[k]`` in bits ``[32k, 32k + 32)``.
+    """
+    if len(xs) != 4 or len(ys) != 4:
+        raise BitWidthError("quad arrays take exactly four operand pairs")
+    pitch = product_width // 4
+    lanes = []
+    for k in range(4):
+        lanes.append(build_pp_array(
+            xs[k], ys[k], width=lane_width, radix_log2=radix_log2,
+            offset=pitch * k, window=(pitch * k, pitch * (k + 1)),
+            lane=f"q{k}", product_width=product_width,
+        ))
+    return PPArray(
+        rows=tuple(r for lane in lanes for r in lane.rows),
+        corrections=tuple(c for lane in lanes for c in lane.corrections),
+        windows=tuple((pitch * k, pitch * (k + 1)) for k in range(4)),
+        product_width=product_width,
+    )
+
+
+def array_row_index(row, radix_log2=4, boundary=64):
+    """Map a PP row back to its physical row index in the shared array.
+
+    In the hardware of Fig. 4 the upper-lane row for digit ``j`` occupies
+    physical array row ``j + 8`` (its multiple sits 32 bits up inside the
+    68-bit row); this helper reproduces that mapping for reports.
+    """
+    k = radix_log2
+    if row.lane == "hi":
+        lane_digit = (row.offset - boundary) // k
+        return lane_digit + boundary // (2 * k)
+    return row.offset // k
+
+
+def occupancy_grid(array, radix_log2=4):
+    """Render the array arrangement of Fig. 4 as a list of strings.
+
+    Each line is one physical array row; ``#`` marks field bits, ``c``
+    the two's complement carry bit, ``.`` empty columns.  Constant
+    correction rows are appended at the bottom.
+    """
+    width = array.product_width
+    grid = {}
+    for row in array.rows:
+        idx = array_row_index(row, radix_log2)
+        line = grid.setdefault(idx, ["."] * width)
+        for b in range(row.width):
+            pos = row.offset + b
+            if pos < width:
+                line[pos] = "#"
+        line[row.offset] = "c" if row.carry or row.signed else line[row.offset]
+    lines = []
+    for idx in sorted(grid):
+        lines.append("".join(reversed(grid[idx])))
+    for value, wlo in array.corrections:
+        line = ["."] * width
+        b = 0
+        v = value
+        while v:
+            if v & 1:
+                line[wlo + b] = "1"
+            v >>= 1
+            b += 1
+        lines.append("".join(reversed(line)))
+    return lines

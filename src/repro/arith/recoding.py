@@ -1,0 +1,112 @@
+"""Multiplier recoding into minimally redundant high-radix digit sets.
+
+The paper recodes the 64-bit multiplier operand ``Y`` into radix-16
+digits in the minimally redundant set ``{-8, ..., 8}`` (Sec. II).  The
+recoding is *carry free*: the transfer digit out of each 4-bit group is
+simply the group's most significant bit, so all digits can be produced in
+parallel.
+
+The same construction works for any radix ``2**k``:
+
+*   group ``i`` holds bits ``k*i .. k*i+k-1`` of ``Y`` with value ``y_i``;
+*   the transfer out of group ``i`` is ``t_{i+1} = 1`` iff
+    ``y_i >= 2**(k-1)`` (the group MSB);
+*   the recoded digit is ``d_i = y_i - 2**k * t_{i+1} + t_i``,
+    which lies in ``[-2**(k-1), 2**(k-1)]``.
+
+The extra most significant digit is the final transfer and is always
+0 or 1 — for a 64-bit radix-16 recoding this is the 17th partial product
+discussed in the paper.
+"""
+
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+
+def recode_minimally_redundant(y, width, radix_log2):
+    """Recode unsigned ``y`` into minimally redundant radix-``2**k`` digits.
+
+    Returns a list of ``ceil(width / k) + 1`` signed digits, least
+    significant first, each in ``[-2**(k-1), 2**(k-1)]``.  The invariant
+    ``sum(d * (2**k)**i) == y`` always holds (property-tested).
+    """
+    k = radix_log2
+    if k < 1:
+        raise BitWidthError(f"radix_log2 must be >= 1, got {k}")
+    if width < 1:
+        raise BitWidthError(f"width must be >= 1, got {width}")
+    if y < 0 or y > mask(width):
+        raise BitWidthError(f"{y:#x} is not an unsigned {width}-bit value")
+
+    groups = (width + k - 1) // k
+    half = 1 << (k - 1)
+    full = 1 << k
+    digits = []
+    transfer = 0
+    for i in range(groups):
+        y_i = (y >> (k * i)) & mask(k)
+        transfer_out = 1 if y_i >= half else 0
+        digits.append(y_i - full * transfer_out + transfer)
+        transfer = transfer_out
+    digits.append(transfer)
+    return digits
+
+
+def radix16_digits(y, width=64):
+    """The paper's radix-16 recoding: digits in ``{-8..8}``, MSB-last.
+
+    For ``width == 64`` this yields 17 digits, matching the 17 partial
+    products of Sec. II; the top digit is 0 or 1 (the transfer out of the
+    most significant 4-bit group).
+    """
+    return recode_minimally_redundant(y, width, 4)
+
+
+def booth_radix4_digits(y, width=64):
+    """Radix-4 (modified Booth) recoding: digits in ``{-2..2}``.
+
+    For a 64-bit unsigned operand this yields 33 digits, the partial
+    product count of the paper's radix-4 baseline (Sec. II-A).
+    """
+    return recode_minimally_redundant(y, width, 2)
+
+
+def radix8_digits(y, width=64):
+    """Radix-8 recoding: digits in ``{-4..4}``.
+
+    The paper chose not to implement radix-8 (it needs the 3X
+    pre-computation like radix-16 but has a taller tree); we provide it
+    for the ablation study.
+    """
+    return recode_minimally_redundant(y, width, 3)
+
+
+def digits_value(digits, radix_log2):
+    """Reconstruct the integer encoded by a digit list (LSB first)."""
+    value = 0
+    for i, d in enumerate(digits):
+        value += d << (radix_log2 * i)
+    return value
+
+
+def digit_count(width, radix_log2):
+    """Number of recoded digits (= partial products) for an operand width."""
+    return (width + radix_log2 - 1) // radix_log2 + 1
+
+
+def recoder_digit_bits(digit, radix_log2):
+    """Encode a recoded digit as (sign, one_hot_magnitude) control bits.
+
+    This is the control representation consumed by the PPGEN mux of
+    Fig. 1: a sign bit driving the XOR row, and a one-hot magnitude
+    selecting among ``{0, X, 2X, ..., 2**(k-1) X}``.
+    """
+    half = 1 << (radix_log2 - 1)
+    if not -half <= digit <= half:
+        raise BitWidthError(
+            f"digit {digit} outside minimally redundant radix-{1 << radix_log2} set"
+        )
+    sign = 1 if digit < 0 else 0
+    magnitude = abs(digit)
+    one_hot = [1 if magnitude == m else 0 for m in range(half + 1)]
+    return sign, one_hot

@@ -1,0 +1,198 @@
+"""The speculative combined normalization/rounding scheme of Fig. 3.
+
+The multiplier tree leaves the product as a carry-save pair ``(S, C)``.
+Rather than adding them, normalizing, then rounding (a second carry
+propagation), the paper computes **both** rounded candidates at once:
+
+*   ``P1 = S + C + R1`` — rounding injected assuming the leading '1'
+    lands in the high position (bit 105 for binary64);
+*   ``P0 = S + C + R0`` — rounding injected one position lower.
+
+A 2:1 mux driven by the actual leading-bit position selects the correct
+candidate; the not-taken candidate is shifted out by wiring.  Each path
+needs a 3:2 CSA (to fold the injection vector) and a fast CPA.
+
+Injection positions: the kept significand for the high case is bits
+``high_leading .. high_leading - p + 1``, so the round bit sits at
+``high_leading - p``; the low case is one position further down:
+
+* binary64: ``R1 = 2**52``, ``R0 = 2**51``;
+* dual binary32: ``R1 = 2**87 + 2**23``, ``R0 = 2**86 + 2**22``
+  (verbatim from Sec. III-B);
+* int64: ``R1 = R0 = 0`` and the mux is forced to the unshifted path.
+
+**Fidelity notes.**  (1) Fig. 3 labels the binary64 vectors ``R1`` at
+bit 53 and ``R0`` at bit 52, but the prose one paragraph earlier says
+rounding "adds '1' in position 52" for the kept field ``P105..P53``, and
+the paper's own binary32 vectors (bits 87/23 and 86/22 for kept fields
+``111..88`` / ``47..24``) follow the prose.  We implement the
+self-consistent positions (52/51 for binary64).  (2) The mux select must
+be the MSB of the **low-injection** path ``P0``: when a low-leading
+product's rounding carries it up to the high position (mantissa near
+all-ones), ``P0``'s MSB flips and ``P1`` — whose injection lands one bit
+higher — then holds exactly the renormalized ``1.0`` pattern.  Selecting
+on ``P1``'s MSB instead would misround products in
+``[2**105 - 2**52, 2**105 - 2**51)`` by one ulp; the tests cover that
+window explicitly.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.arith.adders_ref import lane_split_add
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+PRODUCT_WIDTH = 128
+LANE_BOUNDARY = 64
+
+
+@dataclass(frozen=True)
+class LaneGeometry:
+    """Bit positions of one multiplication lane inside the 128-bit array."""
+
+    name: str
+    high_leading_bit: int    # leading-one position when no normalization shift
+    significand_bits: int    # bits kept after rounding (24 or 53)
+
+    @property
+    def r1_position(self):
+        """Injection position when the leading one is in the high spot."""
+        return self.high_leading_bit - self.significand_bits
+
+    @property
+    def r0_position(self):
+        return self.r1_position - 1
+
+    @property
+    def significand_lsb(self):
+        """LSB of the kept field in the unshifted (high) case."""
+        return self.high_leading_bit - self.significand_bits + 1
+
+
+# Geometry straight from the paper's text.
+FP64_LANE = LaneGeometry("fp64", high_leading_bit=105, significand_bits=53)
+FP32_LOW_LANE = LaneGeometry("fp32_lo", high_leading_bit=47, significand_bits=24)
+FP32_HIGH_LANE = LaneGeometry("fp32_hi", high_leading_bit=111, significand_bits=24)
+
+#: Quad binary16 extension: four 11-bit-significand lanes at 32-bit
+#: pitch (product bits [32k, 32k+22)); not in the paper — it demonstrates
+#: that the lane-sectioning idea generalizes (see DESIGN.md).
+FP16_LANES = tuple(
+    LaneGeometry(f"fp16_{k}", high_leading_bit=32 * k + 21,
+                 significand_bits=11)
+    for k in range(4)
+)
+
+
+def injection_vectors(lanes):
+    """Build the (R1, R0) injection constants for a set of lanes."""
+    r1 = 0
+    r0 = 0
+    for lane in lanes:
+        r1 |= 1 << lane.r1_position
+        r0 |= 1 << lane.r0_position
+    return r1, r0
+
+
+@dataclass(frozen=True)
+class NormRoundResult:
+    """Outcome of the Fig. 3 datapath for one lane."""
+
+    significand: int          # normalized, rounded, with the hidden bit
+    exponent_increment: int   # 1 when the leading one was in the high spot
+    used_high_path: bool      # which CPA result the mux selected
+
+
+def normalize_round_lane(p1, p0, lane):
+    """Apply the Fig. 3 mux/truncate for one lane.
+
+    ``p1``/``p0`` are the full-width speculative sums.  The selection is
+    driven by ``p0``'s bit at the lane's high leading position (see the
+    module docstring for why the low-injection path is the correct
+    discriminator).
+    """
+    sel_high = (p0 >> lane.high_leading_bit) & 1
+    if sel_high:
+        chosen = p1
+    else:
+        chosen = (p0 << 1) & mask(PRODUCT_WIDTH)
+    significand = (chosen >> lane.significand_lsb) & mask(lane.significand_bits)
+    return NormRoundResult(
+        significand=significand,
+        exponent_increment=sel_high,
+        used_high_path=bool(sel_high),
+    )
+
+
+def speculative_sums(s, c, r1, r0, split=False):
+    """The two CPA results of Fig. 3, with the dual-lane carry kill.
+
+    ``split=True`` divides both CPAs at bit 64 (Sec. III-B: "The two
+    CPAs ... are divided in an upper and lower part").
+    """
+    for word in (s, c, r1, r0):
+        if word < 0 or word > mask(PRODUCT_WIDTH):
+            raise BitWidthError(f"{word:#x} is not a {PRODUCT_WIDTH}-bit word")
+    p1 = _three_way_add(s, c, r1, split)
+    p0 = _three_way_add(s, c, r0, split)
+    return p1, p0
+
+
+def _three_way_add(s, c, r, split):
+    # 3:2 CSA first (the extra CSA of Fig. 3), then the lane-split CPA.
+    xor = s ^ c ^ r
+    maj = ((s & c) | (s & r) | (c & r)) << 1
+    if split:
+        # The CSA carry crossing the lane boundary is blanked as well.
+        maj &= ~(1 << LANE_BOUNDARY) & mask(PRODUCT_WIDTH)
+    else:
+        maj &= mask(PRODUCT_WIDTH)
+    total, _cout = lane_split_add(
+        xor, maj, PRODUCT_WIDTH, LANE_BOUNDARY, split=split
+    )
+    return total
+
+
+def normalize_round_fp64(s, c):
+    """Full Fig. 3 flow for a binary64 product; returns one lane result."""
+    r1, r0 = injection_vectors([FP64_LANE])
+    p1, p0 = speculative_sums(s, c, r1, r0, split=False)
+    return normalize_round_lane(p1, p0, FP64_LANE)
+
+
+def normalize_round_fp32_dual(s, c):
+    """Full Fig. 3 flow for the dual binary32 case; returns (low, high)."""
+    r1, r0 = injection_vectors([FP32_LOW_LANE, FP32_HIGH_LANE])
+    p1, p0 = speculative_sums(s, c, r1, r0, split=True)
+    low = normalize_round_lane(p1, p0, FP32_LOW_LANE)
+    high = normalize_round_lane(p1, p0, FP32_HIGH_LANE)
+    return low, high
+
+
+def normalize_round_fp16_quad(s, c):
+    """Fig. 3 flow generalized to four binary16 lanes (extension).
+
+    The CPAs are divided at bits 32/64/96 (carry kill at every lane
+    boundary) and each lane gets its own injection pair and mux.
+    """
+    from repro.arith.adders_ref import multi_window_add
+
+    r1, r0 = injection_vectors(FP16_LANES)
+    boundaries = (32, 64, 96)
+
+    def path(r):
+        xor = s ^ c ^ r
+        maj = ((s & c) | (s & r) | (c & r)) << 1
+        for b in boundaries:
+            maj &= ~(1 << b) & mask(PRODUCT_WIDTH)
+        maj &= mask(PRODUCT_WIDTH)
+        return multi_window_add(xor, maj, PRODUCT_WIDTH, boundaries)
+
+    p1, p0 = path(r1), path(r0)
+    return tuple(normalize_round_lane(p1, p0, lane) for lane in FP16_LANES)
+
+
+def int64_product(s, c):
+    """The int64 path: single CPA, no injection, no shift (Sec. III-A)."""
+    return _three_way_add(s, c, 0, split=False)

@@ -1,0 +1,223 @@
+"""Column-based partial product reduction (the TREE of Fig. 2).
+
+The reducer is written once, generically, over opaque *items*: the
+reference layer instantiates it with integer bits and checks sums, the
+structural layer (:mod:`repro.circuits.compressor_tree`) instantiates it
+with netlist wires.  Both layers therefore share one schedule, which is
+what makes the gate-level circuits provably equivalent to the reference.
+
+The schedule is Dadda's: reduce the maximum column height through the
+sequence ``2, 3, 4, 6, 9, 13, 19, 28, ...`` using full adders (3:2) and
+half adders, placing each carry into the next column of the same stage.
+A 17-high radix-16 array needs 6 stages; a 33-high radix-4 array needs
+8 — the deeper radix-4 tree is exactly the paper's motivation for
+radix 16.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import BitWidthError
+
+
+def dadda_sequence(max_height):
+    """Dadda's target-height sequence up to ``max_height``, ascending."""
+    if max_height < 2:
+        return [2]
+    seq = [2]
+    while seq[-1] < max_height:
+        seq.append(seq[-1] * 3 // 2)
+    if seq[-1] >= max_height:
+        seq = [t for t in seq if t < max_height] or [2]
+    return seq
+
+
+@dataclass
+class ReductionSchedule:
+    """Statistics of one reduction run (used by area/ablation reports)."""
+
+    stages: int = 0
+    full_adders: int = 0
+    half_adders: int = 0
+    killed_carries: int = 0
+    stage_heights: List[int] = field(default_factory=list)
+
+
+def reduce_columns(columns, fa, ha, carry_hook=None, target=2,
+                   order_key=None):
+    """Reduce ``columns`` (list of lists of items) to height <= ``target``.
+
+    ``fa(a, b, c) -> (sum, carry)`` and ``ha(a, b) -> (sum, carry)`` are
+    supplied by the caller.  ``carry_hook(item, from_column)`` is applied
+    to every carry moving from ``from_column`` into ``from_column + 1``;
+    returning ``None`` kills the carry (used at lane boundaries).
+    ``order_key`` (item -> sortable) makes each stage consume the
+    earliest-arriving items first, the ordering delay-aware synthesis
+    uses to minimize path depth and glitching.
+
+    Returns ``(columns, schedule)`` where every column of the result has
+    at most ``target`` items.  The input list is not modified.
+    """
+    if target < 1:
+        raise BitWidthError(f"target height must be >= 1, got {target}")
+    work = [list(col) for col in columns]
+    schedule = ReductionSchedule()
+    max_height = max((len(c) for c in work), default=0)
+    schedule.stage_heights.append(max_height)
+    if max_height <= target:
+        return work, schedule
+
+    targets = [t for t in reversed(dadda_sequence(max_height)) if t >= target]
+    if not targets or targets[-1] != target:
+        targets.append(target)
+    for stage_target in targets:
+        work = _one_stage(work, stage_target, fa, ha, carry_hook, schedule,
+                          order_key)
+        schedule.stages += 1
+        schedule.stage_heights.append(max(len(c) for c in work))
+    return work, schedule
+
+
+def _one_stage(columns, stage_target, fa, ha, carry_hook, schedule,
+               order_key=None):
+    """One Dadda stage.
+
+    Carries produced by column ``i`` arrive at column ``i+1`` *within the
+    same stage accounting* but are pass-through there: they count toward
+    the post-stage height yet are not re-compressed, and neither are the
+    stage's own sums.  Re-consuming either would chain compressors into
+    a horizontal ripple across the array (O(width) depth instead of
+    O(stages)).  Only when a column has exhausted its own items and is
+    still over target (possible in the last stages) does the fallback
+    compress fresh values, paying the minimal extra depth.
+    """
+    out = []
+    carries = []                     # emitted by column i-1, arriving at i
+    for i, col in enumerate(columns):
+        items = list(col)
+        if order_key is not None:
+            items.sort(key=order_key)
+        incoming = carries
+        carries = []
+
+        def emit(carry, col_index=i):
+            routed = _route_carry(carry, col_index, carry_hook, schedule)
+            if routed is not None:
+                carries.append(routed)
+
+        done = []
+        while (len(items) + len(done) + len(incoming) > stage_target
+               and len(items) >= 2):
+            over = len(items) + len(done) + len(incoming) - stage_target
+            if len(items) >= 3 and over >= 2:
+                a, b, c = items.pop(0), items.pop(0), items.pop(0)
+                s, carry = fa(a, b, c)
+                schedule.full_adders += 1
+            else:
+                a, b = items.pop(0), items.pop(0)
+                s, carry = ha(a, b)
+                schedule.half_adders += 1
+            done.append(s)
+            emit(carry)
+        merged = items + done + incoming
+        # Fallback: original items exhausted but the column is still too
+        # tall (its height was dominated by same-stage arrivals).
+        while len(merged) > stage_target and len(merged) >= 2:
+            if len(merged) >= 3 and len(merged) - stage_target >= 2:
+                a, b, c = merged.pop(0), merged.pop(0), merged.pop(0)
+                s, carry = fa(a, b, c)
+                schedule.full_adders += 1
+            else:
+                a, b = merged.pop(0), merged.pop(0)
+                s, carry = ha(a, b)
+                schedule.half_adders += 1
+            merged.append(s)
+            emit(carry)
+        out.append(merged)
+    if carries:
+        # A carry rippled past the declared array width: the caller's
+        # array was not wide enough for its contents.
+        raise BitWidthError("reduction carry escaped the array width")
+    return out
+
+
+def _route_carry(carry, from_col, carry_hook, schedule):
+    if carry_hook is None:
+        return carry
+    routed = carry_hook(carry, from_col)
+    if routed is None:
+        schedule.killed_carries += 1
+    return routed
+
+
+def columns_from_rows(rows_with_offsets, width):
+    """Spread ``(value, offset)`` integer rows into per-column bit lists.
+
+    Only set bits are materialized (a zero contributes nothing to a
+    carry-save sum); this is the reference-layer feeder for
+    :func:`reduce_columns`.
+    """
+    columns = [[] for _ in range(width)]
+    for value, offset in rows_with_offsets:
+        if value < 0:
+            raise BitWidthError("rows must be non-negative encoded patterns")
+        b = 0
+        v = value
+        while v:
+            if v & 1:
+                pos = offset + b
+                if pos >= width:
+                    raise BitWidthError(
+                        f"row bit at {pos} exceeds array width {width}"
+                    )
+                columns[pos].append(1)
+            v >>= 1
+            b += 1
+    return columns
+
+
+def columns_total(columns):
+    """Weighted sum of integer-bit columns (for invariant checks)."""
+    return sum(sum(col) << i for i, col in enumerate(columns))
+
+
+def reduce_pp_array(array):
+    """Reduce a :class:`~repro.arith.partial_products.PPArray` to two words.
+
+    Reference-layer end-to-end check for the TREE: returns
+    ``(sum_word, carry_word, schedule)`` such that adding the two words
+    with carries killed at window boundaries reproduces the product.
+    """
+    from repro.arith.csa import full_adder, half_adder
+
+    width = array.product_width
+    rows = []
+    for row in array.rows:
+        rows.append((row.payload, row.offset))
+        if row.carry:
+            rows.append((1, row.offset))
+    for value, wlo in array.corrections:
+        rows.append((value, wlo))
+    columns = columns_from_rows(rows, width)
+
+    # Carries are killed at every window boundary, including the top of
+    # the array (hardware simply has no column there).
+    boundaries = {hi for _, hi in array.windows}
+
+    def carry_hook(item, from_col):
+        if from_col + 1 in boundaries:
+            return None
+        return item
+
+    reduced, schedule = reduce_columns(
+        columns, fa=lambda a, b, c: full_adder(a, b, c),
+        ha=lambda a, b: half_adder(a, b), carry_hook=carry_hook,
+    )
+    sum_word = 0
+    carry_word = 0
+    for i, col in enumerate(reduced):
+        if len(col) >= 1:
+            sum_word |= col[0] << i
+        if len(col) == 2:
+            carry_word |= col[1] << i
+    return sum_word, carry_word, schedule

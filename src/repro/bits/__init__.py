@@ -1,0 +1,49 @@
+"""Bit-level utilities: bit vectors, two's complement, IEEE 754 codecs.
+
+This package is the numeric foundation of the reproduction.  Everything
+above it (arithmetic algorithms, circuits, the multi-format unit) speaks
+in terms of unsigned integers of a declared width; the helpers here make
+those manipulations explicit and checked.
+"""
+
+from repro.bits.bitvector import BitVector
+from repro.bits.ieee754 import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    FloatFormat,
+    decode,
+    encode,
+    format_by_name,
+    round_significand,
+)
+from repro.bits.utils import (
+    bit,
+    bit_length,
+    bits_of,
+    from_twos_complement,
+    mask,
+    ones_count,
+    to_twos_complement,
+)
+
+__all__ = [
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "BINARY128",
+    "BitVector",
+    "FloatFormat",
+    "bit",
+    "bit_length",
+    "bits_of",
+    "decode",
+    "encode",
+    "format_by_name",
+    "from_twos_complement",
+    "mask",
+    "ones_count",
+    "round_significand",
+    "to_twos_complement",
+]

@@ -1,0 +1,184 @@
+"""A fixed-width unsigned bit vector.
+
+``BitVector`` is a thin, immutable wrapper around ``(value, width)``.
+It exists so that datapath code can slice, concatenate and shift bit
+fields without scattering shift/mask arithmetic — and so that width
+mismatches fail loudly at the point of the mistake.
+
+Indexing follows hardware convention: ``v[0]`` is the LSB and slices are
+inclusive ranges of *bit positions*, e.g. ``v[11:4]`` or ``v[4:11]`` both
+select bits 4..11 (8 bits).
+"""
+
+from repro.bits.utils import from_twos_complement, mask
+from repro.errors import BitWidthError
+
+
+class BitVector:
+    """An immutable unsigned integer with an explicit bit width."""
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value, width):
+        if width <= 0:
+            raise BitWidthError(f"BitVector width must be positive, got {width}")
+        if value < 0 or value > mask(width):
+            raise BitWidthError(f"{value:#x} does not fit in {width} bits")
+        self._value = value
+        self._width = width
+
+    @classmethod
+    def signed(cls, value, width):
+        """Build a vector from a signed value, two's complement encoded."""
+        if width <= 0:
+            raise BitWidthError(f"BitVector width must be positive, got {width}")
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise BitWidthError(f"{value} does not fit in {width}-bit two's complement")
+        return cls(value & mask(width), width)
+
+    @classmethod
+    def from_bits(cls, bits):
+        """Build a vector from an iterable of bits, LSB first."""
+        bits = list(bits)
+        if not bits:
+            raise BitWidthError("from_bits needs at least one bit")
+        value = 0
+        for i, b in enumerate(bits):
+            if b not in (0, 1):
+                raise BitWidthError(f"bit {i} is {b!r}, expected 0 or 1")
+            value |= b << i
+        return cls(value, len(bits))
+
+    @property
+    def value(self):
+        """The unsigned integer value."""
+        return self._value
+
+    @property
+    def width(self):
+        """The declared width in bits."""
+        return self._width
+
+    @property
+    def signed_value(self):
+        """The value interpreted as two's complement."""
+        return from_twos_complement(self._value, self._width)
+
+    def __int__(self):
+        return self._value
+
+    def __index__(self):
+        return self._value
+
+    def __len__(self):
+        return self._width
+
+    def __eq__(self, other):
+        if isinstance(other, BitVector):
+            return self._value == other._value and self._width == other._width
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self._value, self._width))
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise BitWidthError("BitVector slices do not support a step")
+            if key.start is None or key.stop is None:
+                raise BitWidthError("BitVector slices need explicit bounds")
+            lo, hi = sorted((key.start, key.stop))
+            if lo < 0 or hi >= self._width:
+                raise BitWidthError(
+                    f"slice [{key.start}:{key.stop}] out of range for width {self._width}"
+                )
+            width = hi - lo + 1
+            return BitVector((self._value >> lo) & mask(width), width)
+        if key < 0 or key >= self._width:
+            raise BitWidthError(f"bit {key} out of range for width {self._width}")
+        return (self._value >> key) & 1
+
+    def concat(self, *others):
+        """Concatenate, ``self`` holding the most significant bits.
+
+        ``a.concat(b, c)`` produces ``{a, b, c}`` in Verilog notation:
+        ``c`` is the least significant field.
+        """
+        value, width = self._value, self._width
+        for other in others:
+            value = (value << other._width) | other._value
+            width += other._width
+        return BitVector(value, width)
+
+    def zero_extend(self, width):
+        """Return the value widened to ``width`` bits with zero fill."""
+        if width < self._width:
+            raise BitWidthError(f"cannot zero-extend width {self._width} to {width}")
+        return BitVector(self._value, width)
+
+    def sign_extend(self, width):
+        """Return the value widened to ``width`` bits, replicating the MSB."""
+        if width < self._width:
+            raise BitWidthError(f"cannot sign-extend width {self._width} to {width}")
+        return BitVector.signed(self.signed_value, width)
+
+    def truncate(self, width):
+        """Keep only the ``width`` least significant bits."""
+        if width > self._width:
+            raise BitWidthError(f"cannot truncate width {self._width} to {width}")
+        return BitVector(self._value & mask(width), width)
+
+    def __invert__(self):
+        return BitVector(self._value ^ mask(self._width), self._width)
+
+    def __and__(self, other):
+        return self._bitwise(other, lambda a, b: a & b)
+
+    def __or__(self, other):
+        return self._bitwise(other, lambda a, b: a | b)
+
+    def __xor__(self, other):
+        return self._bitwise(other, lambda a, b: a ^ b)
+
+    def _bitwise(self, other, op):
+        if isinstance(other, int):
+            other = BitVector(other & mask(self._width), self._width)
+        if other._width != self._width:
+            raise BitWidthError(
+                f"width mismatch: {self._width} vs {other._width}"
+            )
+        return BitVector(op(self._value, other._value), self._width)
+
+    def __lshift__(self, amount):
+        """Shift left *within the declared width* (bits fall off the top)."""
+        if amount < 0:
+            raise BitWidthError("shift amount must be non-negative")
+        return BitVector((self._value << amount) & mask(self._width), self._width)
+
+    def __rshift__(self, amount):
+        if amount < 0:
+            raise BitWidthError("shift amount must be non-negative")
+        return BitVector(self._value >> amount, self._width)
+
+    def __add__(self, other):
+        """Modular addition within the declared width."""
+        if isinstance(other, BitVector):
+            if other._width != self._width:
+                raise BitWidthError(
+                    f"width mismatch: {self._width} vs {other._width}"
+                )
+            other = other._value
+        return BitVector((self._value + other) & mask(self._width), self._width)
+
+    def bits(self):
+        """The bits as a list, LSB first."""
+        return [(self._value >> i) & 1 for i in range(self._width)]
+
+    def __repr__(self):
+        return f"BitVector({self._value:#x}, width={self._width})"
+
+    def __str__(self):
+        return format(self._value, f"0{self._width}b")

@@ -1,0 +1,230 @@
+"""IEEE 754-2008 binary interchange formats (paper Table IV).
+
+The :class:`FloatFormat` parameters reproduce Table IV of the paper
+exactly: storage width, precision, exponent length, ``Emax`` and bias for
+binary16/32/64/128.
+
+Encode/decode here are *reference* codecs: they handle normals,
+subnormals, zeros, infinities and NaNs so that tests can compare the
+paper's restricted datapath against full IEEE behaviour.  The datapath
+itself (``repro.core``) implements the paper's restricted semantics.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.bits.utils import mask
+from repro.errors import BitWidthError, FormatError
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Parameters of an IEEE 754 binary format (one column of Table IV)."""
+
+    name: str
+    storage_bits: int
+    precision: int          # p, significand bits including the hidden one
+    exponent_bits: int      # w
+
+    @property
+    def trailing_significand_bits(self):
+        """f in Table IV: stored fraction bits (precision minus hidden bit)."""
+        return self.precision - 1
+
+    @property
+    def bias(self):
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def emax(self):
+        return self.bias
+
+    @property
+    def emin(self):
+        return 1 - self.bias
+
+    @property
+    def exponent_mask(self):
+        return mask(self.exponent_bits)
+
+    @property
+    def sign_position(self):
+        return self.storage_bits - 1
+
+    def pack(self, sign, biased_exponent, fraction):
+        """Assemble a raw encoding from its three fields."""
+        if sign not in (0, 1):
+            raise FormatError(f"sign must be 0 or 1, got {sign}")
+        if not 0 <= biased_exponent <= self.exponent_mask:
+            raise FormatError(
+                f"biased exponent {biased_exponent} out of range for {self.name}"
+            )
+        if not 0 <= fraction <= mask(self.trailing_significand_bits):
+            raise FormatError(f"fraction {fraction:#x} out of range for {self.name}")
+        return (
+            (sign << self.sign_position)
+            | (biased_exponent << self.trailing_significand_bits)
+            | fraction
+        )
+
+    def unpack(self, encoding):
+        """Split a raw encoding into ``(sign, biased_exponent, fraction)``."""
+        if encoding < 0 or encoding > mask(self.storage_bits):
+            raise BitWidthError(
+                f"{encoding:#x} is not a {self.storage_bits}-bit encoding"
+            )
+        sign = (encoding >> self.sign_position) & 1
+        biased = (encoding >> self.trailing_significand_bits) & self.exponent_mask
+        fraction = encoding & mask(self.trailing_significand_bits)
+        return sign, biased, fraction
+
+    def is_normal(self, encoding):
+        __, biased, __ = self.unpack(encoding)
+        return 0 < biased < self.exponent_mask
+
+    def is_subnormal(self, encoding):
+        __, biased, fraction = self.unpack(encoding)
+        return biased == 0 and fraction != 0
+
+    def is_zero(self, encoding):
+        __, biased, fraction = self.unpack(encoding)
+        return biased == 0 and fraction == 0
+
+    def is_inf(self, encoding):
+        __, biased, fraction = self.unpack(encoding)
+        return biased == self.exponent_mask and fraction == 0
+
+    def is_nan(self, encoding):
+        __, biased, fraction = self.unpack(encoding)
+        return biased == self.exponent_mask and fraction != 0
+
+    def significand(self, encoding):
+        """The integer significand (with hidden bit resolved)."""
+        __, biased, fraction = self.unpack(encoding)
+        if biased == 0:
+            return fraction
+        return fraction | (1 << self.trailing_significand_bits)
+
+
+BINARY16 = FloatFormat("binary16", 16, 11, 5)
+BINARY32 = FloatFormat("binary32", 32, 24, 8)
+BINARY64 = FloatFormat("binary64", 64, 53, 11)
+BINARY128 = FloatFormat("binary128", 128, 113, 15)
+
+_BY_NAME = {f.name: f for f in (BINARY16, BINARY32, BINARY64, BINARY128)}
+
+
+def format_by_name(name):
+    """Look up a format by its Table IV name (e.g. ``"binary64"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise FormatError(f"unknown format {name!r}") from None
+
+
+def decode(encoding, fmt):
+    """Decode a raw encoding into a Python float.
+
+    Infinities decode to ``math.inf``; NaNs decode to ``math.nan``.
+    """
+    sign, biased, fraction = fmt.unpack(encoding)
+    sign_factor = -1.0 if sign else 1.0
+    if biased == fmt.exponent_mask:
+        return sign_factor * math.inf if fraction == 0 else math.nan
+    f = fmt.trailing_significand_bits
+    if biased == 0:
+        return sign_factor * math.ldexp(fraction, fmt.emin - f)
+    return sign_factor * math.ldexp(fraction | (1 << f), biased - fmt.bias - f)
+
+
+def encode(value, fmt):
+    """Encode a Python float with round-to-nearest-even.
+
+    This is the reference encoder used to build test vectors; it supports
+    the full IEEE value set.
+    """
+    if math.isnan(value):
+        return fmt.pack(0, fmt.exponent_mask, 1 << (fmt.trailing_significand_bits - 1))
+    sign = 1 if math.copysign(1.0, value) < 0 else 0
+    value = abs(value)
+    if math.isinf(value):
+        return fmt.pack(sign, fmt.exponent_mask, 0)
+    if value == 0.0:
+        return fmt.pack(sign, 0, 0)
+
+    frac, exp = math.frexp(value)      # value = frac * 2**exp, frac in [0.5, 1)
+    e = exp - 1                        # unbiased exponent of the leading 1
+    if e < fmt.emin:                   # subnormal (or underflow to zero)
+        shift = fmt.emin - e
+        scaled = math.ldexp(frac, fmt.precision - shift)
+        sig = _round_half_even(scaled)
+        if sig == 0:
+            return fmt.pack(sign, 0, 0)
+        if sig >> fmt.trailing_significand_bits:
+            return fmt.pack(sign, 1, sig & mask(fmt.trailing_significand_bits))
+        return fmt.pack(sign, 0, sig)
+    scaled = math.ldexp(frac, fmt.precision)   # in [2**(p-1), 2**p)
+    sig = _round_half_even(scaled)
+    if sig == (1 << fmt.precision):             # rounding overflowed the significand
+        sig >>= 1
+        e += 1
+    if e > fmt.emax:
+        return fmt.pack(sign, fmt.exponent_mask, 0)
+    return fmt.pack(sign, e + fmt.bias, sig & mask(fmt.trailing_significand_bits))
+
+
+def _round_half_even(x):
+    floor = math.floor(x)
+    diff = x - floor
+    if diff > 0.5 or (diff == 0.5 and floor % 2 == 1):
+        return floor + 1
+    return floor
+
+
+def round_significand(product, keep_bits, mode="injection", sticky_lsbs=None):
+    """Round an integer significand product down to ``keep_bits`` bits.
+
+    ``product`` is a non-negative integer whose top ``keep_bits`` bits are
+    to be kept.  Let ``d = product.bit_length() - keep_bits`` be the number
+    of discarded bits (``d >= 1`` required).
+
+    Modes:
+
+    * ``"injection"`` — the paper's scheme: add 1 at the position just
+      below the kept field, then truncate.  Equivalent to
+      round-to-nearest with ties always rounding *up* (no sticky bit).
+    * ``"rne"`` — full round-to-nearest-even using guard/sticky, the
+      extension the paper lists as future work.
+    * ``"truncate"`` — drop the discarded bits.
+
+    Returns ``(significand, carry_out)`` where ``carry_out`` is 1 when
+    rounding overflowed into bit ``keep_bits`` (significand became
+    ``2**keep_bits`` and was renormalized to ``2**(keep_bits-1)``).
+    """
+    if product <= 0:
+        raise FormatError("round_significand needs a positive product")
+    d = product.bit_length() - keep_bits
+    if d < 1:
+        raise FormatError(
+            f"product has {product.bit_length()} bits; need more than {keep_bits}"
+        )
+    if mode == "truncate":
+        rounded = product >> d
+    elif mode == "injection":
+        rounded = (product + (1 << (d - 1))) >> d
+    elif mode == "rne":
+        guard = (product >> (d - 1)) & 1
+        if sticky_lsbs is None:
+            sticky = 1 if (product & mask(d - 1)) else 0
+        else:
+            sticky = 1 if sticky_lsbs else 0
+        truncated = product >> d
+        if guard and (sticky or (truncated & 1)):
+            rounded = truncated + 1
+        else:
+            rounded = truncated
+    else:
+        raise FormatError(f"unknown rounding mode {mode!r}")
+    if rounded >> keep_bits:
+        return rounded >> 1, 1
+    return rounded, 0

@@ -1,0 +1,75 @@
+"""Small, heavily used bit-manipulation helpers.
+
+All functions operate on plain Python ints.  Widths are explicit
+everywhere; a value that does not fit its declared width raises
+:class:`~repro.errors.BitWidthError` rather than being silently masked,
+because silent masking is how datapath bugs hide.
+"""
+
+from repro.errors import BitWidthError
+
+
+def mask(width):
+    """Return an all-ones mask of ``width`` bits (``width`` may be 0)."""
+    if width < 0:
+        raise BitWidthError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value, position):
+    """Return bit ``position`` (0 = LSB) of ``value`` as 0 or 1."""
+    if position < 0:
+        raise BitWidthError(f"bit position must be non-negative, got {position}")
+    return (value >> position) & 1
+
+
+def bits_of(value, width):
+    """Return the ``width`` bits of ``value`` as a list, LSB first."""
+    _check_unsigned(value, width)
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bit_length(value):
+    """Like ``int.bit_length`` but defined to be 1 for zero.
+
+    A zero still occupies one bit of storage in a register; this variant
+    avoids width-0 special cases in circuit generators.
+    """
+    if value < 0:
+        raise BitWidthError("bit_length is defined for non-negative values")
+    return max(1, value.bit_length())
+
+
+def ones_count(value):
+    """Population count of a non-negative integer."""
+    if value < 0:
+        raise BitWidthError("ones_count is defined for non-negative values")
+    return bin(value).count("1")
+
+
+def to_twos_complement(value, width):
+    """Encode a signed integer into ``width``-bit two's complement.
+
+    Raises :class:`BitWidthError` when ``value`` is outside
+    ``[-2**(width-1), 2**(width-1) - 1]``.
+    """
+    if width <= 0:
+        raise BitWidthError(f"width must be positive, got {width}")
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise BitWidthError(f"{value} does not fit in {width}-bit two's complement")
+    return value & mask(width)
+
+
+def from_twos_complement(encoded, width):
+    """Decode a ``width``-bit two's complement pattern into a signed int."""
+    _check_unsigned(encoded, width)
+    sign_bit = 1 << (width - 1)
+    return (encoded ^ sign_bit) - sign_bit
+
+
+def _check_unsigned(value, width):
+    if width < 0:
+        raise BitWidthError(f"width must be non-negative, got {width}")
+    if value < 0 or value > mask(width):
+        raise BitWidthError(f"{value} is not an unsigned {width}-bit value")

@@ -1,0 +1,200 @@
+"""Structural carry-propagate adders.
+
+The paper's datapath needs "fast CPAs" in three places: the odd-multiple
+pre-computation (3X/5X/7X), the two speculative rounding adders of
+Fig. 3, and the final product CPA.  We provide ripple (baseline),
+Kogge-Stone (fast, the default), Brent-Kung and carry-select styles,
+all mirroring the reference recurrences in
+:mod:`repro.arith.adders_ref`, plus the lane-split wrapper the dual
+binary32 mode needs (carry killed at bit 64, Sec. III-B).
+"""
+
+from repro.circuits.primitives import GateBuilder
+from repro.errors import NetlistError
+
+
+def ripple_adder(gb, a, b, carry_in=None):
+    """Ripple-carry adder; returns ``(sum_bus, carry_out)``."""
+    _check(a, b)
+    c = carry_in if carry_in is not None else gb.zero
+    total = []
+    for ai, bi in zip(a, b):
+        s1, c1 = gb.ha(ai, bi)
+        s2, c2 = gb.ha(s1, c)
+        total.append(s2)
+        c = gb.g_or(c1, c2)
+    return total, c
+
+
+def kogge_stone_adder(gb, a, b, carry_in=None):
+    """Kogge-Stone prefix adder; returns ``(sum_bus, carry_out)``.
+
+    Minimum logic depth (log2 n prefix levels), the style assumed for
+    the paper's fast CPAs.
+    """
+    _check(a, b)
+    width = len(a)
+    p = [gb.g_xor(ai, bi) for ai, bi in zip(a, b)]
+    g = [gb.g_and(ai, bi) for ai, bi in zip(a, b)]
+    gp = list(zip(g, p))
+    span = 1
+    while span < width:
+        nxt = list(gp)
+        for i in range(span, width):
+            gi, pi = gp[i]
+            gj, pj = gp[i - span]
+            nxt[i] = (gb.g_or(gi, gb.g_and(pi, gj)), gb.g_and(pi, pj))
+        gp = nxt
+        span <<= 1
+    return _finish_prefix(gb, p, gp, carry_in, width)
+
+
+def brent_kung_adder(gb, a, b, carry_in=None):
+    """Brent-Kung prefix adder: sparse tree, ~2 log2 n depth, less area."""
+    _check(a, b)
+    width = len(a)
+    p = [gb.g_xor(ai, bi) for ai, bi in zip(a, b)]
+    g = [gb.g_and(ai, bi) for ai, bi in zip(a, b)]
+    seg = {(i, i): (g[i], p[i]) for i in range(width)}
+
+    def combine(hi_pair, lo_pair):
+        gh, ph = hi_pair
+        gl, pl = lo_pair
+        return gb.g_or(gh, gb.g_and(ph, gl)), gb.g_and(ph, pl)
+
+    span = 1
+    while span < width:
+        for i in range(2 * span - 1, width, 2 * span):
+            lo = i - 2 * span + 1
+            seg[(lo, i)] = combine(seg[(i - span + 1, i)],
+                                   seg[(lo, i - span)])
+        span <<= 1
+
+    prefixes = {}
+    for i in range(width):
+        lo = 0
+        acc = None
+        while lo <= i:
+            size = 1
+            while lo % (2 * size) == 0 and lo + 2 * size - 1 <= i:
+                size *= 2
+            piece = seg[(lo, lo + size - 1)]
+            acc = piece if acc is None else combine(piece, acc)
+            lo += size
+        prefixes[i] = acc
+    gp = [prefixes[i] for i in range(width)]
+    return _finish_prefix(gb, p, gp, carry_in, width)
+
+
+def carry_select_adder(gb, a, b, carry_in=None, block=8):
+    """Carry-select adder with ripple blocks computed for both carries."""
+    _check(a, b)
+    width = len(a)
+    c = carry_in if carry_in is not None else gb.zero
+    total = []
+    for lo in range(0, width, block):
+        hi = min(lo + block, width)
+        sa, sb = a[lo:hi], b[lo:hi]
+        sum0, c0 = ripple_adder(gb, sa, sb, gb.zero)
+        sum1, c1 = ripple_adder(gb, sa, sb, gb.one)
+        total.extend(gb.g_mux(s0, s1, c) for s0, s1 in zip(sum0, sum1))
+        c = gb.g_mux(c0, c1, c)
+    return total, c
+
+
+_STYLES = {
+    "ripple": ripple_adder,
+    "kogge_stone": kogge_stone_adder,
+    "brent_kung": brent_kung_adder,
+    "carry_select": carry_select_adder,
+}
+
+
+def make_adder(style):
+    """Look up an adder generator by style name."""
+    try:
+        return _STYLES[style]
+    except KeyError:
+        raise NetlistError(
+            f"unknown adder style {style!r}; choose from {sorted(_STYLES)}"
+        ) from None
+
+
+def adder_styles():
+    return sorted(_STYLES)
+
+
+def lane_split_adder(gb, a, b, split, boundary=64, style="kogge_stone"):
+    """CPA divided into an upper and lower part (Sec. III-B).
+
+    The carry out of ``boundary - 1`` enters the upper half through an
+    AND gate with ``NOT split``: a single binary64/int64 addition when
+    ``split = 0``, two independent lane additions when ``split = 1``.
+    The upper half is computed for both carry-in values in parallel and
+    selected (carry-select at the boundary), so the split costs one mux
+    delay instead of serializing the two halves.
+    Returns ``(sum_bus, carry_out)``.
+    """
+    _check(a, b)
+    if not 0 < boundary < len(a):
+        raise NetlistError(f"boundary {boundary} outside bus of {len(a)}")
+    adder = make_adder(style)
+    lo_sum, lo_cout = adder(gb, a[:boundary], b[:boundary])
+    hi_cin = gb.g_and(lo_cout, gb.g_not(split))
+    hi0, cout0 = adder(gb, a[boundary:], b[boundary:], carry_in=gb.zero)
+    hi1, cout1 = adder(gb, a[boundary:], b[boundary:], carry_in=gb.one)
+    hi_sum = gb.bus_mux(hi0, hi1, hi_cin)
+    cout = gb.g_mux(cout0, cout1, hi_cin)
+    return lo_sum + hi_sum, cout
+
+
+def multi_lane_split_adder(gb, a, b, kills, style="kogge_stone"):
+    """CPA divided at several positions, each with its own kill control.
+
+    ``kills`` is ``[(boundary, kill_net), ...]`` in ascending boundary
+    order: the carry out of ``boundary - 1`` enters the next block
+    through ``AND(cout, NOT kill)``.  Each block is computed for both
+    carry-in values and selected (carry-select), so depth grows by one
+    mux per boundary.  Generalizes :func:`lane_split_adder` to the quad
+    binary16 mode's three boundaries.  Returns ``(sum_bus, carry_out)``.
+    """
+    _check(a, b)
+    width = len(a)
+    positions = [boundary for boundary, __ in kills]
+    if positions != sorted(set(positions)) or not all(
+            0 < p_ < width for p_ in positions):
+        raise NetlistError(f"bad kill boundaries {positions}")
+    adder = make_adder(style)
+    cuts = [0] + positions + [width]
+    total = []
+    carry = gb.zero
+    for index, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+        if index == 0:
+            block_sum, cout = adder(gb, a[lo:hi], b[lo:hi])
+        else:
+            kill = kills[index - 1][1]
+            cin = gb.g_and(carry, gb.g_not(kill))
+            s0, c0 = adder(gb, a[lo:hi], b[lo:hi], carry_in=gb.zero)
+            s1, c1 = adder(gb, a[lo:hi], b[lo:hi], carry_in=gb.one)
+            block_sum = gb.bus_mux(s0, s1, cin)
+            cout = gb.g_mux(c0, c1, cin)
+        total.extend(block_sum)
+        carry = cout
+    return total, carry
+
+
+def _finish_prefix(gb, p, gp, carry_in, width):
+    cin = carry_in if carry_in is not None else gb.zero
+    carries = [cin]
+    for i in range(width):
+        gi, pi = gp[i]
+        carries.append(gb.g_or(gi, gb.g_and(pi, cin)))
+    total = [gb.g_xor(p[i], carries[i]) for i in range(width)]
+    return total, carries[width]
+
+
+def _check(a, b):
+    if len(a) != len(b):
+        raise NetlistError(f"adder width mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        raise NetlistError("adder needs at least one bit")

@@ -1,0 +1,137 @@
+"""Structural partial-product reduction tree (the TREE of Fig. 2).
+
+The scheduling comes from :func:`repro.arith.trees.reduce_columns` — the
+*same* function the reference layer uses — instantiated here with net
+ids as items and :class:`GateBuilder` cells as compressors.  Carries
+crossing a lane boundary pass through an AND gate with the lane-split
+control, implementing the "correct carry-propagation" of Sec. III-B in
+the shared multi-format array; carries off the top of the array are
+dropped (there is no column there, arithmetic is modulo the width).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arith.trees import ReductionSchedule, reduce_columns
+from repro.circuits.primitives import GateBuilder
+from repro.errors import NetlistError
+
+
+@dataclass
+class TreeResult:
+    """Outputs of the compressor tree."""
+
+    sum_bus: List[int]
+    carry_bus: List[int]
+    schedule: ReductionSchedule
+
+
+def build_compressor_tree(gb, columns, width, split=None, boundaries=(),
+                          use_4_2=False, kill_controls=None):
+    """Reduce ``columns`` (lists of nets per bit position) to two buses.
+
+    ``split`` is an optional net: when given, carries crossing any
+    position in ``boundaries`` are ANDed with ``NOT split`` (dual-lane
+    isolation).  When ``split`` is None, carries crossing ``boundaries``
+    are removed outright (mode-fixed arrays).  ``kill_controls`` maps
+    boundary position -> control net for designs with *different* kill
+    conditions per boundary (the quad binary16 extension); it overrides
+    ``split``/``boundaries``.  Carries leaving column ``width - 1`` are
+    always dropped.
+    """
+    if len(columns) != width:
+        raise NetlistError(f"expected {width} columns, got {len(columns)}")
+    if kill_controls is None:
+        kill_controls = {pos: split for pos in boundaries}
+    gates = {pos: (None if ctrl is None else gb.g_not(ctrl))
+             for pos, ctrl in kill_controls.items()}
+
+    def carry_hook(net, from_col):
+        target = from_col + 1
+        if target == width:
+            return None
+        if target in gates:
+            not_ctrl = gates[target]
+            if not_ctrl is None:
+                return None
+            return gb.g_and(net, not_ctrl)
+        return net
+
+    if use_4_2:
+        reduced, schedule = _reduce_4_2(gb, columns, carry_hook)
+    else:
+        reduced, schedule = reduce_columns(
+            columns, fa=gb.fa, ha=gb.ha, carry_hook=carry_hook,
+            order_key=gb.depth_of)
+    sum_bus = []
+    carry_bus = []
+    for col in reduced:
+        items = [n for n in col if gb.const_of(n) != 0]
+        if len(items) > 2:
+            raise NetlistError("tree failed to reduce a column to two")
+        sum_bus.append(items[0] if items else gb.zero)
+        carry_bus.append(items[1] if len(items) > 1 else gb.zero)
+    return TreeResult(sum_bus=sum_bus, carry_bus=carry_bus,
+                      schedule=schedule)
+
+
+def _reduce_4_2(gb, columns, carry_hook):
+    """4:2-compressor-first reduction (ablation variant).
+
+    While any column holds more than 4 items, a stage of 4:2 compressors
+    roughly halves the heights.  Each 4:2 cell is two chained full
+    adders: the first FA's carry (``cout``) travels *horizontally* to the
+    matching cell of the next column within the same stage (no ripple —
+    it is independent of that cell's own ``cin``), the second FA's carry
+    goes to the next column's next-stage input.  A final Dadda 3:2 pass
+    cleans up to height 2.
+    """
+    schedule = ReductionSchedule()
+    work = [list(c) for c in columns]
+    width = len(work)
+    schedule.stage_heights.append(max((len(c) for c in work), default=0))
+    while max((len(c) for c in work), default=0) > 4:
+        out = [[] for _ in range(width + 1)]
+        hlanes = [[] for _ in range(width + 1)]   # horizontal cins per column
+        for i in range(width):
+            items = list(work[i])
+            cins = hlanes[i]
+            lane = 0
+            while len(items) >= 4:
+                a, b, c, d = items[:4]
+                items = items[4:]
+                cin = cins[lane] if lane < len(cins) else gb.zero
+                s1, cout = gb.fa(a, b, c)
+                s, carry = gb.fa(s1, d, cin)
+                schedule.full_adders += 2
+                out[i].append(s)
+                routed_c = carry_hook(carry, i)
+                if routed_c is not None:
+                    out[i + 1].append(routed_c)
+                else:
+                    schedule.killed_carries += 1
+                routed_h = carry_hook(cout, i)
+                if routed_h is not None:
+                    hlanes[i + 1].append(routed_h)
+                else:
+                    schedule.killed_carries += 1
+                lane += 1
+            # Unused horizontal carries still carry weight i: keep them.
+            items.extend(cins[lane:])
+            out[i].extend(items)
+        if out[width] or hlanes[width]:
+            raise NetlistError("4:2 reduction carry escaped the array")
+        work = out[:width]
+        schedule.stages += 1
+        schedule.stage_heights.append(max(len(c) for c in work))
+        if schedule.stages > 64:
+            raise NetlistError("4:2 reduction failed to converge")
+
+    final, tail = reduce_columns(work, fa=gb.fa, ha=gb.ha,
+                                 carry_hook=carry_hook)
+    schedule.stages += tail.stages
+    schedule.full_adders += tail.full_adders
+    schedule.half_adders += tail.half_adders
+    schedule.killed_carries += tail.killed_carries
+    schedule.stage_heights.extend(tail.stage_heights[1:])
+    return final, schedule

@@ -1,0 +1,118 @@
+"""Shared assembly for the standalone 64x64 multipliers (Fig. 2).
+
+The radix-4, radix-8 and radix-16 multipliers differ only in recoding
+width, multiple set and array shape, so one parameterized builder covers
+all three (thin wrappers in ``mult_radix{4,8,16}.py`` fix the radix and
+document the paper context).  Block tags match the paper's critical-path
+breakdown: ``precomp`` / ``recoder`` / ``ppgen`` / ``tree`` / ``cpa``.
+
+Pipelining (Table III's "two-stage pipelined" rows) inserts one register
+bank at a selectable cut:
+
+* ``"after_ppgen"`` (default) — balances the stages best for radix-16
+  (pre-computation + recoding + PPGEN vs TREE + CPA);
+* ``"after_precomp"`` — fewest flip-flops for radix-16;
+* ``None`` — purely combinational.
+"""
+
+from repro.circuits.adders import make_adder
+from repro.circuits.compressor_tree import build_compressor_tree
+from repro.circuits.multiples import build_multiples
+from repro.circuits.ppgen import build_plain_pp_columns
+from repro.circuits.primitives import GateBuilder
+from repro.circuits.recoder import RecodedDigit, build_recoder
+from repro.errors import NetlistError
+from repro.hdl.module import Module
+from repro.hdl.validate import validate
+
+
+def build_multiplier(radix_log2, width=64, pipeline_cut=None,
+                     adder_style="kogge_stone", precomp_adder_style=None,
+                     use_4_2=False, name=None, buffer_max_load=8.0):
+    """Build a ``width x width`` unsigned multiplier module.
+
+    Returns a validated :class:`Module` with inputs ``x``/``y`` and the
+    ``2*width``-bit output ``p``.  ``buffer_max_load`` drives the fanout
+    buffering pass (None disables it).
+    """
+    k = radix_log2
+    if pipeline_cut not in (None, "after_ppgen", "after_precomp"):
+        raise NetlistError(f"unknown pipeline cut {pipeline_cut!r}")
+    if precomp_adder_style is None:
+        precomp_adder_style = adder_style
+    if name is None:
+        suffix = "" if pipeline_cut is None else "_p2"
+        name = f"mult{width}_r{1 << k}{suffix}"
+    m = Module(name)
+    gb = GateBuilder(m)
+    x = m.input("x", width)
+    y = m.input("y", width)
+    product_width = 2 * width
+
+    with m.block("precomp"):
+        multiples = build_multiples(gb, x, k, adder_style=precomp_adder_style)
+    with m.block("recoder"):
+        digits = build_recoder(gb, y, k)
+
+    if pipeline_cut == "after_precomp":
+        with m.block("pipe"):
+            multiples, digits = _register_controls(m, gb, multiples, digits)
+
+    with m.block("ppgen"):
+        columns, __ = build_plain_pp_columns(gb, digits, multiples, width, k,
+                                             product_width=product_width)
+
+    if pipeline_cut == "after_ppgen":
+        with m.block("pipe"):
+            columns = _register_columns(m, gb, columns)
+
+    with m.block("tree"):
+        tree = build_compressor_tree(gb, columns, product_width,
+                                     use_4_2=use_4_2)
+    with m.block("cpa"):
+        adder = make_adder(adder_style)
+        total, __ = adder(gb, tree.sum_bus, tree.carry_bus)
+
+    m.output("p", total)
+    if buffer_max_load is not None:
+        from repro.hdl.buffering import insert_buffers
+        from repro.hdl.library import default_library
+        insert_buffers(m, default_library(), max_load=buffer_max_load)
+    return validate(m)
+
+
+def _register_columns(m, gb, columns, stage=1):
+    """Register every distinct non-constant net feeding the tree."""
+    mapping = {}
+    out = []
+    for col in columns:
+        new_col = []
+        for net in col:
+            if gb.const_of(net) is not None:
+                new_col.append(net)
+                continue
+            if net not in mapping:
+                mapping[net] = m.register(net, stage)
+            new_col.append(mapping[net])
+        out.append(new_col)
+    return out
+
+
+def _register_controls(m, gb, multiples, digits, stage=1):
+    """Register the multiple buses and recoded digit controls."""
+    mapping = {}
+
+    def reg(net):
+        if gb.const_of(net) is not None:
+            return net
+        if net not in mapping:
+            mapping[net] = m.register(net, stage)
+        return mapping[net]
+
+    new_multiples = {mm: [reg(n) for n in bus]
+                     for mm, bus in multiples.items()}
+    new_digits = [RecodedDigit(sign=reg(d.sign),
+                               magnitude_onehot=[reg(n)
+                                                 for n in d.magnitude_onehot])
+                  for d in digits]
+    return new_multiples, new_digits

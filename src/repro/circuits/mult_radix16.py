@@ -1,0 +1,20 @@
+"""The baseline 64x64 radix-16 multiplier of Sec. II (Fig. 2, Table I).
+
+17 partial products in the minimally redundant digit set ``{-8..8}``,
+odd multiples 3X/5X/7X pre-computed by three parallel CPAs, Dadda 3:2
+reduction, fast final CPA.
+"""
+
+from repro.circuits.mult_common import build_multiplier
+
+
+def radix16_multiplier(pipeline_cut=None, adder_style="kogge_stone",
+                       use_4_2=False, buffer_max_load=8.0):
+    """Build the radix-16 64x64 multiplier.
+
+    ``pipeline_cut=None`` reproduces Table I (combinational);
+    ``"after_ppgen"`` the two-stage pipelined row of Table III.
+    """
+    return build_multiplier(4, width=64, pipeline_cut=pipeline_cut,
+                            adder_style=adder_style, use_4_2=use_4_2,
+                            buffer_max_load=buffer_max_load)

@@ -1,0 +1,16 @@
+"""The radix-4 (modified Booth) 64x64 baseline of Sec. II-A (Table II).
+
+33 partial products in ``{-2..2}``; no pre-computation (2X is wiring),
+at the price of a reduction tree roughly twice as deep and wide as the
+radix-16 one — the trade-off the paper quantifies in Tables II and III.
+"""
+
+from repro.circuits.mult_common import build_multiplier
+
+
+def radix4_multiplier(pipeline_cut=None, adder_style="kogge_stone",
+                      use_4_2=False, buffer_max_load=8.0):
+    """Build the radix-4 Booth 64x64 multiplier."""
+    return build_multiplier(2, width=64, pipeline_cut=pipeline_cut,
+                            adder_style=adder_style, use_4_2=use_4_2,
+                            buffer_max_load=buffer_max_load)

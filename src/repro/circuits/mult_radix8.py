@@ -1,0 +1,18 @@
+"""A radix-8 64x64 multiplier (ablation).
+
+The paper declined to implement radix-8: "it also needs the
+pre-computation of 3X, but its reduction tree is larger than the
+radix-16 tree" (Sec. II-A).  We build it anyway so the benchmarks can
+verify that claim: 23 partial products in ``{-4..4}``, one
+pre-computation CPA (3X).
+"""
+
+from repro.circuits.mult_common import build_multiplier
+
+
+def radix8_multiplier(pipeline_cut=None, adder_style="kogge_stone",
+                      use_4_2=False, buffer_max_load=8.0):
+    """Build the radix-8 64x64 multiplier."""
+    return build_multiplier(3, width=64, pipeline_cut=pipeline_cut,
+                            adder_style=adder_style, use_4_2=use_4_2,
+                            buffer_max_load=buffer_max_load)

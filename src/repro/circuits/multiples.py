@@ -1,0 +1,56 @@
+"""Structural multiplicand multiple generation (pre-computation, Fig. 1).
+
+Builds the bus set ``{X, 2X, ..., 2**(k-1) X}`` used by the PPGEN muxes:
+even multiples by wiring, odd multiples by fast CPAs —
+``3X = X + 2X``, ``5X = X + 4X``, ``7X = 8X - X`` (one CPA each,
+computed in parallel, Sec. II), ``6X = 3X << 1``.
+"""
+
+from typing import Dict, List
+
+from repro.circuits.adders import make_adder
+from repro.circuits.primitives import GateBuilder
+from repro.errors import NetlistError
+
+
+def build_multiples(gb, x_bus, radix_log2, adder_style="kogge_stone"):
+    """Return ``{m: bus}`` for ``m = 1 .. 2**(k-1)``, all equal width.
+
+    Buses are ``len(x_bus) + k - 1`` bits wide (enough for the largest
+    multiple), zero-padded by wiring.
+    """
+    k = radix_log2
+    if k < 2:
+        raise NetlistError("multiples need radix >= 4 (k >= 2)")
+    top = 1 << (k - 1)
+    width = len(x_bus) + k - 1
+    adder = make_adder(adder_style)
+
+    multiples: Dict[int, List[int]] = {}
+    multiples[1] = gb.bus_pad(x_bus, width)
+    for m in range(2, top + 1):
+        if m % 2 == 0:
+            continue
+        if m == 3:
+            a = gb.bus_pad(x_bus, width)
+            b = gb.bus_shift_left(x_bus, 1, width)
+            total, __ = adder(gb, a, b)
+        elif m == 5:
+            a = gb.bus_pad(x_bus, width)
+            b = gb.bus_shift_left(x_bus, 2, width)
+            total, __ = adder(gb, a, b)
+        elif m == 7:
+            # 7X = 8X - X = 8X + ~X + 1 (single CPA, carry-in 1).
+            a = gb.bus_shift_left(x_bus, 3, width)
+            b = gb.bus_invert(gb.bus_pad(x_bus, width))
+            total, __ = adder(gb, a, b, carry_in=gb.one)
+        else:
+            raise NetlistError(f"no generator for odd multiple {m}")
+        multiples[m] = total
+    for m in range(2, top + 1):
+        if m % 2 == 0:
+            half_bus = multiples[m // 2] if (m // 2) in multiples else None
+            if half_bus is None:
+                raise NetlistError(f"missing multiple {m // 2} for {m}")
+            multiples[m] = gb.bus_shift_left(half_bus[:width - 1], 1, width)
+    return multiples

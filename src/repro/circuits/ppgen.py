@@ -1,0 +1,299 @@
+"""Structural partial product generation (Fig. 1 and Fig. 4).
+
+Two generators live here:
+
+* :func:`build_plain_pp_columns` — the single-mode array of the
+  standalone radix-4/8/16 multipliers (Sec. II): one-hot mux over the
+  multiples, XOR negation row, complemented sign bit at the top of each
+  row field, ``+1`` carry bit, and the per-array sign-extension
+  correction constant (taken from the *reference* builder so the two
+  layers cannot drift apart).
+
+* :func:`build_mf_pp_columns` — the multi-format array of the MFmult
+  (Sec. III): the same 17 radix-16 rows, augmented with the mode gating
+  that "blanks" lane-crossing bits for dual binary32 operation, moves
+  the sign-complement bit to the lane field tops (bits 27/59 of the
+  row), relocates the two's complement carry of upper-lane rows, and
+  muxes between the int64/binary64 and dual-binary32 correction
+  constants.  Gating terms are taken from one ``fp32`` control net.
+
+Both return ``columns`` (a list of per-bit-position net lists) ready for
+the compressor tree.
+"""
+
+from typing import List, Tuple
+
+from repro.arith.partial_products import build_dual_lane_pp_array, build_pp_array
+from repro.circuits.primitives import GateBuilder
+from repro.errors import NetlistError
+
+
+def _mux_bit(gb, digit, multiples, bit):
+    """Selected multiple bit for one row (one-hot AND-OR mux)."""
+    pairs = []
+    for m, bus in multiples.items():
+        if m == 0 or bit >= len(bus):
+            continue
+        pairs.append((digit.magnitude_onehot[m], bus[bit]))
+    return gb.one_hot_select(pairs)
+
+
+def reference_corrections(width, radix_log2, dual=False):
+    """Sign-extension correction constants from the reference builder.
+
+    Using :mod:`repro.arith.partial_products` as the single source of
+    truth guarantees the circuit and the reference can never disagree on
+    the correction.  The constants are data independent, so any operand
+    values (zeros here) give the same result.
+    """
+    if dual:
+        array = build_dual_lane_pp_array(0, 0, 0, 0, lane_width=width,
+                                         radix_log2=radix_log2)
+    else:
+        array = build_pp_array(0, 0, width=width, radix_log2=radix_log2,
+                               product_width=2 * width)
+    return array.corrections
+
+
+def build_plain_pp_columns(gb, digits, multiples, width, radix_log2,
+                           product_width=None):
+    """Single-mode PP array; returns ``(columns, row_nets)``.
+
+    ``row_nets`` lists every non-constant net contributed (used for
+    pipeline register insertion after PPGEN).
+    """
+    k = radix_log2
+    if product_width is None:
+        product_width = 2 * width
+    columns: List[List[int]] = [[] for _ in range(product_width)]
+    row_nets: List[int] = []
+
+    def place(net, col):
+        if gb.const_of(net) == 0:
+            return
+        if col >= product_width:
+            raise NetlistError(f"PP bit at column {col} exceeds the array")
+        columns[col].append(net)
+        if gb.const_of(net) is None:
+            row_nets.append(net)
+
+    field = width + k
+    for i, digit in enumerate(digits):
+        offset = k * i
+        signed = (k * i + k - 1) < width
+        sign = digit.sign
+        if signed:
+            for b in range(field - 1):
+                core = gb.g_xor(_mux_bit(gb, digit, multiples, b), sign)
+                place(core, offset + b)
+            place(gb.g_not(sign), offset + field - 1)
+            place(sign, offset)            # two's complement +1
+        else:
+            # Rows whose group extends past the operand width can never
+            # go negative; their digit is bounded by 2**avail, which
+            # bounds the row width (a synthesis tool would prove the
+            # same bits constant-zero).
+            avail = max(0, width - k * i)
+            row_bits = width + avail
+            for b in range(row_bits):
+                place(_mux_bit(gb, digit, multiples, b), offset + b)
+
+    for value, wlo in reference_corrections(width, k):
+        b = 0
+        v = value
+        while v:
+            if v & 1:
+                place(gb.one, wlo + b)
+            v >>= 1
+            b += 1
+    return columns, row_nets
+
+
+# ----------------------------------------------------------------------
+# Multi-format array (Fig. 4)
+# ----------------------------------------------------------------------
+
+#: Row templates of the 17-row multi-format radix-16 array.
+LOWER_SIGNED = range(0, 6)
+LOWER_TRANSFER = range(6, 8)
+UPPER_SIGNED = range(8, 14)
+UPPER_TRANSFER = (14,)
+TOP_SIGNED = (15,)
+TOP_TRANSFER = (16,)
+
+LANE_FIELD_TOP_LOW = 27    # s-bar position of lower-lane rows (in-row)
+LANE_FIELD_TOP_HIGH = 59   # s-bar position of upper-lane rows (in-row)
+UPPER_LANE_SHIFT = 32      # in-row offset of the upper lane's multiple
+
+
+#: Quad binary16 lane geometry (extension): lane k's significand sits at
+#: word bits [16k, 16k+11); its three PP rows are digit indices 4k+j,
+#: j = 0..2, each a 15-bit field at in-row offset 16k.
+FP16_LANE_SHIFT = 16
+FP16_FIELD_TOP = 14
+
+
+def build_mf_pp_columns(gb, digits, multiples, fp32, fp16=None):
+    """Multi-format PP array; returns ``(columns, row_nets)``.
+
+    ``fp32`` is the control net: 0 for int64/binary64 (full 64x64
+    array), 1 for dual binary32 (lane-blanked array of Fig. 4).
+    ``fp16`` (extension) adds the quad binary16 arrangement: when that
+    net is 1 every row bit is overlaid with the four-lane template.
+    Passing ``fp16=None`` (or a constant-0 net) folds the overlay away
+    — the classic three-format netlist is unchanged.
+    """
+    if len(digits) != 17:
+        raise NetlistError(f"expected 17 radix-16 digits, got {len(digits)}")
+    not_fp32 = gb.g_not(fp32)
+    if fp16 is None:
+        fp16 = gb.zero
+    quad = gb.const_of(fp16) != 0
+    product_width = 128
+    field = 68
+    columns: List[List[int]] = [[] for _ in range(product_width)]
+    row_nets: List[int] = []
+
+    def place(net, col):
+        if gb.const_of(net) == 0:
+            return
+        if col >= product_width:
+            raise NetlistError(f"PP bit at column {col} exceeds the array")
+        columns[col].append(net)
+        if gb.const_of(net) is None:
+            row_nets.append(net)
+
+    for i, digit in enumerate(digits):
+        offset = 4 * i
+        sign = digit.sign
+        sbar = gb.g_not(sign)
+        lane_k, lane_j = divmod(i, 4)
+
+        def core(b):
+            return gb.g_xor(_mux_bit(gb, digit, multiples, b), sign)
+
+        def fp16_val(b):
+            """The quad-lane overlay value of in-row bit ``b``."""
+            if not quad or lane_j == 3 or lane_k > 3:
+                return gb.zero
+            lo = FP16_LANE_SHIFT * lane_k
+            if lo <= b <= lo + FP16_FIELD_TOP - 1:
+                return core(b)
+            if b == lo + FP16_FIELD_TOP and lane_j <= 1:
+                return sbar       # signed lane rows carry the s-bar bit
+            return gb.zero
+
+        def put(base_net, b):
+            place(gb.g_mux(base_net, fp16_val(b), fp16), offset + b)
+
+        if i in LOWER_SIGNED:
+            for b in range(0, LANE_FIELD_TOP_LOW):
+                put(core(b), b)
+            put(gb.g_mux(core(LANE_FIELD_TOP_LOW), sbar, fp32),
+                LANE_FIELD_TOP_LOW)
+            for b in range(LANE_FIELD_TOP_LOW + 1, field - 1):
+                put(gb.g_and(core(b), not_fp32), b)
+            put(gb.g_and(sbar, not_fp32), field - 1)
+        elif i in LOWER_TRANSFER:
+            for b in range(0, LANE_FIELD_TOP_LOW + 1):
+                put(core(b), b)
+            for b in range(LANE_FIELD_TOP_LOW + 1, field - 1):
+                put(gb.g_and(core(b), not_fp32), b)
+            put(gb.g_and(sbar, not_fp32), field - 1)
+        elif i in UPPER_SIGNED:
+            for b in range(0, UPPER_LANE_SHIFT):
+                put(gb.g_and(core(b), not_fp32), b)
+            for b in range(UPPER_LANE_SHIFT, LANE_FIELD_TOP_HIGH):
+                put(core(b), b)
+            put(gb.g_mux(core(LANE_FIELD_TOP_HIGH), sbar, fp32),
+                LANE_FIELD_TOP_HIGH)
+            for b in range(LANE_FIELD_TOP_HIGH + 1, field - 1):
+                put(gb.g_and(core(b), not_fp32), b)
+            put(gb.g_and(sbar, not_fp32), field - 1)
+        elif i in UPPER_TRANSFER:
+            for b in range(0, UPPER_LANE_SHIFT):
+                put(gb.g_and(core(b), not_fp32), b)
+            for b in range(UPPER_LANE_SHIFT, field - 1):
+                put(core(b), b)
+            put(gb.g_and(sbar, not_fp32), field - 1)
+        elif i in TOP_SIGNED:
+            for b in range(0, field - 1):
+                put(core(b), b)
+            put(gb.g_and(sbar, not_fp32), field - 1)
+        else:   # TOP_TRANSFER
+            for b in range(0, 64):
+                put(_mux_bit(gb, digit, multiples, b), b)
+
+        _place_mf_carries(gb, place, i, offset, sign, fp32, not_fp32,
+                          fp16, quad)
+
+    _place_mf_corrections(gb, place, fp32, not_fp32, fp16, quad)
+    return columns, row_nets
+
+
+def _place_mf_carries(gb, place, i, offset, sign, fp32, not_fp32, fp16,
+                      quad):
+    """Two's complement '+1' carry bits for row ``i``, all modes.
+
+    Positions: row LSB (int64/binary64), in-row bit 32 for the upper
+    binary32 lane, in-row bit 16k for binary16 lane k.  Rows whose digit
+    is provably non-negative in a mode contribute sign = 0 there, so
+    gating is only needed where a *different* mode's sign could leak.
+    """
+    lane_k, lane_j = divmod(i, 4)
+    not_fp16 = gb.g_not(fp16) if quad else gb.one
+    fp16_carry_pos = FP16_LANE_SHIFT * lane_k
+    fp16_carry_here = quad and lane_j <= 1 and lane_k <= 3
+
+    if i in LOWER_SIGNED or i in LOWER_TRANSFER:
+        if fp16_carry_here and fp16_carry_pos == 0:
+            # Lane 0: the fp16 carry coincides with the row LSB.
+            place(sign, offset)
+        else:
+            base = sign if not quad else gb.g_and(sign, not_fp16)
+            place(base, offset)
+            if fp16_carry_here:
+                place(gb.g_and(sign, fp16), offset + fp16_carry_pos)
+    elif i in UPPER_SIGNED:
+        gate_lsb = gb.g_and(sign, not_fp32) if not quad else \
+            gb.g_and(gb.g_and(sign, not_fp32), not_fp16)
+        place(gate_lsb, offset)
+        if fp16_carry_here and fp16_carry_pos == UPPER_LANE_SHIFT:
+            # Lane 2: shares the binary32 upper-lane carry position.
+            place(gb.g_and(sign, gb.g_or(fp32, fp16)),
+                  offset + UPPER_LANE_SHIFT)
+        else:
+            place(gb.g_and(sign, fp32), offset + UPPER_LANE_SHIFT)
+            if fp16_carry_here:
+                place(gb.g_and(sign, fp16), offset + fp16_carry_pos)
+    elif i in UPPER_TRANSFER or i in TOP_SIGNED:
+        # Digits here are non-negative in fp32 and fp16 modes (their
+        # group MSBs are formatter zeros), so the plain sign is safe.
+        place(sign, offset)
+    # TOP_TRANSFER carries nothing.
+
+
+def _place_mf_corrections(gb, place, fp32, not_fp32, fp16=None, quad=False):
+    int_corr = {wlo: v for v, wlo in reference_corrections(64, 4)}
+    dual_corr = {wlo: v for v, wlo in reference_corrections(24, 4, dual=True)}
+    int_bits = int_corr.get(0, 0)
+    dual_bits = dual_corr.get(0, 0) | (dual_corr.get(64, 0) << 64)
+    quad_bits = 0
+    if quad:
+        from repro.arith.partial_products import build_quad_lane_pp_array
+
+        for value, wlo in build_quad_lane_pp_array([0] * 4,
+                                                   [0] * 4).corrections:
+            quad_bits |= value << wlo
+    int_mode = not_fp32 if not quad else gb.g_not(gb.g_or(fp32, fp16))
+    n_modes = 3 if quad else 2
+    for col in range(128):
+        flags = [((int_bits >> col) & 1, int_mode),
+                 ((dual_bits >> col) & 1, fp32)]
+        if quad:
+            flags.append(((quad_bits >> col) & 1, fp16))
+        terms = [net for bit, net in flags if bit]
+        if len(terms) == n_modes:
+            place(gb.one, col)       # set in every mode: a true constant
+        elif terms:
+            place(gb.or_tree(terms), col)

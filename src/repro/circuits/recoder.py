@@ -1,0 +1,91 @@
+"""Structural high-radix recoders (the "Recoder" block of Fig. 1).
+
+For radix ``2**k`` the recoder turns each ``k``-bit group of ``Y`` plus
+the previous group's MSB (the carry-free transfer digit, Sec. II) into
+PPGEN controls: a sign bit and a one-hot magnitude ``0..2**(k-1)``.
+
+Per digit, with ``u = group + transfer_in`` (a ``k+1``-bit value in
+``0..2**k``):
+
+* ``magnitude m`` is selected when ``u == m`` or ``u == 2**k - m``;
+* ``sign = group_msb AND NOT (u == 2**k)``.
+
+This reproduces the minimally redundant digit
+``d = u - 2**k * group_msb`` of the reference recoder (co-simulated
+exhaustively in the tests).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuits.primitives import GateBuilder
+from repro.errors import NetlistError
+
+
+@dataclass
+class RecodedDigit:
+    """PPGEN controls for one radix-2**k digit."""
+
+    sign: int                 # net: 1 when the digit is negative
+    magnitude_onehot: List[int]   # nets: index m active when |digit| == m
+
+
+def build_recoder(gb, y_bus, radix_log2):
+    """Recode a multiplier bus; returns a list of :class:`RecodedDigit`.
+
+    The list has ``len(y_bus)/k + 1`` entries; the last is the transfer
+    digit (magnitude 0 or 1, never negative) that creates the 17th
+    partial product of Sec. II.
+    """
+    k = radix_log2
+    width = len(y_bus)
+    # Widths that are not a multiple of k get zero-padded partial top
+    # groups (the 64-bit radix-8 case and the scaled-down test builds).
+    groups = (width + k - 1) // k
+    half = 1 << (k - 1)
+    digits = []
+    transfer_in = gb.zero
+    for i in range(groups):
+        group = [y_bus[k * i + j] if k * i + j < width else gb.zero
+                 for j in range(k)]
+        msb = group[-1]
+        u = _small_increment(gb, group, transfer_in)      # k+1 bits
+        onehot = [_equals(gb, u, value) for value in range((1 << k) + 1)]
+        mags = []
+        for m in range(half + 1):
+            terms = []
+            if m <= (1 << k):
+                terms.append(onehot[m])
+            mirror = (1 << k) - m
+            if mirror != m and mirror <= (1 << k):
+                terms.append(onehot[mirror])
+            mags.append(gb.or_tree(terms))
+        sign = gb.g_and(msb, gb.g_not(onehot[1 << k]))
+        digits.append(RecodedDigit(sign=sign, magnitude_onehot=mags))
+        transfer_in = msb
+    # Transfer digit: magnitude 1 iff the last group's MSB is set.
+    mags = [gb.g_not(transfer_in), transfer_in] + [gb.zero] * (half - 1)
+    digits.append(RecodedDigit(sign=gb.zero, magnitude_onehot=mags))
+    return digits
+
+
+def _small_increment(gb, group, t):
+    """``group + t`` as a ``len(group)+1``-bit bus (half-adder chain)."""
+    out = []
+    carry = t
+    for bit in group:
+        s, carry = gb.ha(bit, carry)
+        out.append(s)
+    out.append(carry)
+    return out
+
+
+def _equals(gb, bus, value):
+    """AND-tree minterm: 1 when ``bus`` spells ``value``."""
+    literals = []
+    for i, net in enumerate(bus):
+        if (value >> i) & 1:
+            literals.append(net)
+        else:
+            literals.append(gb.g_not(net))
+    return gb.and_tree(literals)

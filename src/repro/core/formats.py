@@ -1,0 +1,181 @@
+"""Operation formats of the multi-format unit (Sec. III).
+
+``MFFormat`` enumerates the three operating modes of the paper's unit.
+``OperandBundle``/``ResultBundle`` model the unit's 64-bit input and
+output ports, including the dual-lane packing rules of the input/output
+formatter blocks in Fig. 5:
+
+* ``INT64``  — ``X``, ``Y`` are 64-bit unsigned; the 128-bit product is
+  presented on both output ports (``PH`` high half, ``PL`` low half).
+* ``FP64``   — ``X``, ``Y`` are binary64 encodings; result on ``PH``.
+* ``FP32X2`` — each 64-bit operand word carries **two** binary32
+  encodings: lane 0 in the 32 LSBs, lane 1 in the 32 MSBs.  Both
+  products are returned packed the same way in ``PH``.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.bits.ieee754 import BINARY16, BINARY32, BINARY64
+from repro.bits.utils import mask
+from repro.errors import BitWidthError, FormatError
+
+
+class MFFormat(enum.Enum):
+    """The ``frmt`` control input of Fig. 5.
+
+    ``FP16X4`` is an extension beyond the paper's three formats: four
+    binary16 products per cycle on the same array (software model only;
+    see DESIGN.md).
+    """
+
+    INT64 = "int64"
+    FP64 = "binary64"
+    FP32X2 = "binary32x2"
+    FP16X4 = "binary16x4"
+
+    @property
+    def flops_per_cycle(self):
+        """FP operations completed per issued cycle (Table V throughput)."""
+        if self is MFFormat.FP32X2:
+            return 2
+        if self is MFFormat.FP16X4:
+            return 4
+        return 1
+
+
+class RoundingMode(enum.Enum):
+    """Rounding behaviour of the FP paths.
+
+    ``INJECTION`` is the paper's implemented scheme (round-to-nearest
+    with ties away from zero via injection, no sticky bit).  ``RNE`` is
+    the sticky-based round-to-nearest-even extension the paper lists as
+    not yet implemented; we provide it as an opt-in mode.
+    """
+
+    INJECTION = "injection"
+    RNE = "rne"
+
+
+@dataclass(frozen=True)
+class OperandBundle:
+    """One 64-bit operand word pair as seen by the input formatter."""
+
+    x: int
+    y: int
+
+    def __post_init__(self):
+        for name, v in (("x", self.x), ("y", self.y)):
+            if v < 0 or v > mask(64):
+                raise BitWidthError(f"operand {name}={v:#x} is not a 64-bit word")
+
+    @classmethod
+    def int64(cls, x, y):
+        return cls(x, y)
+
+    @classmethod
+    def fp64(cls, x_encoding, y_encoding):
+        return cls(x_encoding, y_encoding)
+
+    @classmethod
+    def fp32_pair(cls, x0, y0, x1, y1):
+        """Pack two binary32 multiplications: lane 0 low word, lane 1 high."""
+        for name, v in (("x0", x0), ("y0", y0), ("x1", x1), ("y1", y1)):
+            if v < 0 or v > mask(32):
+                raise BitWidthError(f"{name}={v:#x} is not a 32-bit encoding")
+        return cls(x=(x1 << 32) | x0, y=(y1 << 32) | y0)
+
+    @classmethod
+    def fp16_quad(cls, xs, ys):
+        """Pack four binary16 multiplications, lane k in bits [16k, 16k+16).
+
+        Extension format (not in the paper's unit).
+        """
+        if len(xs) != 4 or len(ys) != 4:
+            raise BitWidthError("fp16_quad takes four encodings per side")
+        for name, vals in (("x", xs), ("y", ys)):
+            for k, v in enumerate(vals):
+                if v < 0 or v > mask(16):
+                    raise BitWidthError(
+                        f"{name}{k}={v:#x} is not a 16-bit encoding")
+        x = sum(v << (16 * k) for k, v in enumerate(xs))
+        y = sum(v << (16 * k) for k, v in enumerate(ys))
+        return cls(x=x, y=y)
+
+    def lane16(self, lane):
+        """Extract one binary16 operand pair (lane 0 = LSBs)."""
+        if lane not in (0, 1, 2, 3):
+            raise FormatError(f"lane must be 0..3, got {lane}")
+        shift = 16 * lane
+        return (self.x >> shift) & mask(16), (self.y >> shift) & mask(16)
+
+    def lane32(self, lane):
+        """Extract one binary32 operand pair (lane 0 = LSBs, 1 = MSBs)."""
+        if lane not in (0, 1):
+            raise FormatError(f"lane must be 0 or 1, got {lane}")
+        shift = 32 * lane
+        return (self.x >> shift) & mask(32), (self.y >> shift) & mask(32)
+
+
+@dataclass(frozen=True)
+class ResultBundle:
+    """The unit's two 64-bit output ports (Fig. 5)."""
+
+    ph: int
+    pl: int
+    fmt: MFFormat
+    flags: tuple = ()
+
+    def __post_init__(self):
+        for name, v in (("ph", self.ph), ("pl", self.pl)):
+            if v < 0 or v > mask(64):
+                raise BitWidthError(f"{name}={v:#x} is not a 64-bit word")
+
+    @property
+    def int128(self):
+        """The 128-bit integer product (int64 mode)."""
+        if self.fmt is not MFFormat.INT64:
+            raise FormatError(f"int128 is only defined for INT64, not {self.fmt}")
+        return (self.ph << 64) | self.pl
+
+    @property
+    def fp64_encoding(self):
+        if self.fmt is not MFFormat.FP64:
+            raise FormatError(f"fp64_encoding is only defined for FP64, not {self.fmt}")
+        return self.ph
+
+    def fp32_encoding(self, lane):
+        if self.fmt is not MFFormat.FP32X2:
+            raise FormatError(f"fp32_encoding is only defined for FP32X2, not {self.fmt}")
+        if lane not in (0, 1):
+            raise FormatError(f"lane must be 0 or 1, got {lane}")
+        return (self.ph >> (32 * lane)) & mask(32)
+
+    def fp16_encoding(self, lane):
+        if self.fmt is not MFFormat.FP16X4:
+            raise FormatError(
+                f"fp16_encoding is only defined for FP16X4, not {self.fmt}")
+        if lane not in (0, 1, 2, 3):
+            raise FormatError(f"lane must be 0..3, got {lane}")
+        return (self.ph >> (16 * lane)) & mask(16)
+
+
+#: The IEEE format backing each FP mode.
+FORMAT_OF = {
+    MFFormat.FP64: BINARY64,
+    MFFormat.FP32X2: BINARY32,
+    MFFormat.FP16X4: BINARY16,
+}
+
+
+class Flag(enum.Enum):
+    """Status flags raised by the functional model.
+
+    The silicon unit has no flag outputs; these exist so software users
+    can detect when an operation left the unit's supported envelope.
+    """
+
+    OVERFLOW = "overflow"
+    UNDERFLOW = "underflow"
+    INEXACT = "inexact"
+    UNSUPPORTED_INPUT = "unsupported-input"

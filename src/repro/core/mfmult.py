@@ -1,0 +1,530 @@
+"""Functional model of the multi-format multiplier (Sec. III, Fig. 5).
+
+``MFMult`` mirrors the paper's datapath step by step:
+
+1.  **input formatter** — unpack the 64-bit operand words per format;
+2.  **recoding & PP generation** — radix-16 minimally redundant recoding
+    and the encoded partial product array (single window for
+    int64/binary64, dual-lane windows for binary32, Fig. 4);
+3.  **TREE** — Dadda reduction to a carry-save pair with lane-boundary
+    carry kill;
+4.  **normalize & round** — the speculative dual-CPA scheme of Fig. 3;
+5.  **sign & exponent handling** — XOR sign, biased exponent add with
+    speculative increment (Sec. III-C);
+6.  **output formatter** — pack the result word(s).
+
+Two fidelity levels are provided:
+
+* ``fidelity="datapath"`` (default) runs the real PP/tree/Fig.-3 flow, so
+  every intermediate value a hardware test would observe is available in
+  :attr:`MFMult.last_trace`;
+* ``fidelity="fast"`` computes the same results with plain integer
+  arithmetic (property-tested equal) for high-volume software use.
+
+Two behavioural modes:
+
+* ``mode="paper"`` reproduces the silicon exactly: normalized operands
+  only (no zeros, subnormals, infinities or NaNs), rounding by
+  injection.  Unsupported operands raise
+  :class:`~repro.errors.UnsupportedOperationError`.
+* ``mode="full"`` adds the extensions the paper lists as future work:
+  sticky-based round-to-nearest-even, subnormal inputs/outputs and IEEE
+  special values, handled in the formatter wrapper around the same core.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.arith.partial_products import (
+    PPArray,
+    build_dual_lane_pp_array,
+    build_pp_array,
+)
+from repro.arith.rounding import (
+    FP32_HIGH_LANE,
+    FP32_LOW_LANE,
+    FP64_LANE,
+    NormRoundResult,
+    injection_vectors,
+    int64_product,
+    normalize_round_lane,
+    speculative_sums,
+)
+from repro.arith.trees import reduce_pp_array
+from repro.bits.ieee754 import BINARY32, BINARY64, round_significand
+from repro.bits.utils import mask
+from repro.core.formats import (
+    Flag,
+    MFFormat,
+    OperandBundle,
+    ResultBundle,
+    RoundingMode,
+)
+from repro.errors import FormatError, UnsupportedOperationError
+
+
+@dataclass
+class DatapathTrace:
+    """Intermediate values of the last datapath-fidelity multiplication."""
+
+    fmt: Optional[MFFormat] = None
+    pp_array: Optional[PPArray] = None
+    tree_sum: int = 0
+    tree_carry: int = 0
+    p1: int = 0
+    p0: int = 0
+    lane_results: Tuple[NormRoundResult, ...] = ()
+    exponents: Tuple[int, ...] = ()
+    flags: Tuple[Flag, ...] = ()
+
+
+@dataclass(frozen=True)
+class _UnpackedFloat:
+    sign: int
+    exponent: int       # biased
+    significand: int    # with hidden bit
+
+
+class MFMult:
+    """The multi-format multiplier, software edition.
+
+    Parameters
+    ----------
+    mode:
+        ``"paper"`` (silicon-exact envelope) or ``"full"`` (IEEE
+        extensions enabled).
+    rounding:
+        :class:`RoundingMode`; the paper mode default is ``INJECTION``.
+    fidelity:
+        ``"datapath"`` (mirror the hardware structures) or ``"fast"``.
+    """
+
+    def __init__(self, mode="paper", rounding=RoundingMode.INJECTION,
+                 fidelity="datapath"):
+        if mode not in ("paper", "full"):
+            raise FormatError(f"mode must be 'paper' or 'full', got {mode!r}")
+        if fidelity not in ("datapath", "fast"):
+            raise FormatError(
+                f"fidelity must be 'datapath' or 'fast', got {fidelity!r}"
+            )
+        if mode == "paper" and rounding is RoundingMode.RNE:
+            raise UnsupportedOperationError(
+                "the paper's unit has no sticky bit: RNE needs mode='full'"
+            )
+        self.mode = mode
+        self.rounding = rounding
+        self.fidelity = fidelity
+        self.last_trace = DatapathTrace()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def multiply(self, operands, fmt):
+        """Multiply one operand bundle; returns a :class:`ResultBundle`."""
+        if not isinstance(operands, OperandBundle):
+            raise FormatError("operands must be an OperandBundle")
+        if fmt is MFFormat.INT64:
+            return self._multiply_int64(operands)
+        if fmt is MFFormat.FP64:
+            return self._multiply_fp64(operands)
+        if fmt is MFFormat.FP32X2:
+            return self._multiply_fp32x2(operands)
+        if fmt is MFFormat.FP16X4:
+            return self._multiply_fp16x4(operands)
+        raise FormatError(f"unknown format {fmt!r}")
+
+    def mul_int64(self, x, y):
+        """Convenience: 64x64 -> 128-bit unsigned product."""
+        return self.multiply(OperandBundle.int64(x, y), MFFormat.INT64).int128
+
+    def mul_int64_signed(self, x, y):
+        """Signed 64x64 -> 128-bit product (extension, see
+        :func:`repro.arith.partial_products.build_signed_pp_array`).
+
+        Accepts and returns Python signed integers; the datapath runs on
+        two's complement patterns with the recoder's final transfer digit
+        dropped — the classic Booth signed-multiplication property.
+        """
+        from repro.arith.partial_products import build_signed_pp_array
+        from repro.bits.utils import from_twos_complement, to_twos_complement
+
+        xe = to_twos_complement(x, 64)
+        ye = to_twos_complement(y, 64)
+        if self.fidelity == "fast":
+            return x * y
+        array = build_signed_pp_array(xe, ye, width=64, radix_log2=4,
+                                      product_width=128)
+        s, c, __ = reduce_pp_array(array)
+        product = int64_product(s, c)
+        self.last_trace = DatapathTrace(
+            fmt=MFFormat.INT64, pp_array=array, tree_sum=s, tree_carry=c,
+            p1=product, p0=product,
+        )
+        return from_twos_complement(product, 128)
+
+    def mul_fp64(self, x, y):
+        """Convenience: multiply two Python floats through the fp64 path."""
+        from repro.bits.ieee754 import decode, encode
+
+        bundle = OperandBundle.fp64(encode(x, BINARY64), encode(y, BINARY64))
+        result = self.multiply(bundle, MFFormat.FP64)
+        return decode(result.fp64_encoding, BINARY64)
+
+    def mul_fp32_pair(self, pair_a, pair_b):
+        """Convenience: two binary32 products in one issue.
+
+        ``pair_a = (x0, x1)`` and ``pair_b = (y0, y1)`` as Python floats;
+        returns ``(x0*y0, x1*y1)`` computed by the dual-lane path.
+        """
+        from repro.bits.ieee754 import decode, encode
+
+        x0, x1 = pair_a
+        y0, y1 = pair_b
+        bundle = OperandBundle.fp32_pair(
+            encode(x0, BINARY32), encode(y0, BINARY32),
+            encode(x1, BINARY32), encode(y1, BINARY32),
+        )
+        result = self.multiply(bundle, MFFormat.FP32X2)
+        return (
+            decode(result.fp32_encoding(0), BINARY32),
+            decode(result.fp32_encoding(1), BINARY32),
+        )
+
+    def mul_fp16_quad(self, xs, ys):
+        """Convenience: four binary16 products in one issue (extension).
+
+        ``xs``/``ys`` are 4-tuples of Python floats; returns the four
+        products as Python floats.
+        """
+        from repro.bits.ieee754 import BINARY16, decode, encode
+
+        bundle = OperandBundle.fp16_quad(
+            [encode(v, BINARY16) for v in xs],
+            [encode(v, BINARY16) for v in ys],
+        )
+        result = self.multiply(bundle, MFFormat.FP16X4)
+        return tuple(decode(result.fp16_encoding(k), BINARY16)
+                     for k in range(4))
+
+    # ------------------------------------------------------------------
+    # int64
+    # ------------------------------------------------------------------
+
+    def _multiply_int64(self, operands):
+        if self.fidelity == "fast":
+            product = operands.x * operands.y
+            self.last_trace = DatapathTrace(fmt=MFFormat.INT64)
+        else:
+            array = build_pp_array(operands.x, operands.y, width=64,
+                                   radix_log2=4, product_width=128)
+            s, c, _schedule = reduce_pp_array(array)
+            product = int64_product(s, c)
+            self.last_trace = DatapathTrace(
+                fmt=MFFormat.INT64, pp_array=array, tree_sum=s, tree_carry=c,
+                p1=product, p0=product,
+            )
+        return ResultBundle(ph=product >> 64, pl=product & mask(64),
+                            fmt=MFFormat.INT64)
+
+    # ------------------------------------------------------------------
+    # binary64
+    # ------------------------------------------------------------------
+
+    def _multiply_fp64(self, operands):
+        special = self._special_product(operands.x, operands.y, BINARY64)
+        if special is not None:
+            return ResultBundle(ph=special, pl=0, fmt=MFFormat.FP64)
+        ux = self._unpack(operands.x, BINARY64)
+        uy = self._unpack(operands.y, BINARY64)
+
+        result, exponent, flags = self._fp_core_single(ux, uy, BINARY64)
+        encoding = BINARY64.pack(
+            ux.sign ^ uy.sign, exponent & BINARY64.exponent_mask,
+            result & mask(52),
+        )
+        return ResultBundle(ph=encoding, pl=0, fmt=MFFormat.FP64, flags=flags)
+
+    def _fp_core_single(self, ux, uy, fmt):
+        """The shared normalized-operand core for one full-width lane."""
+        if self.mode == "full":
+            return self._fp_exact(ux, uy, fmt)
+        if self.fidelity == "fast":
+            return self._fast_round(ux.significand * uy.significand,
+                                    ux, uy, fmt)
+        return self._fp_datapath_fp64(ux, uy)
+
+    def _fast_round(self, product, ux, uy, fmt):
+        """Paper-mode rounding without the datapath structures.
+
+        Matches the Fig. 3 outcome bit for bit: injection rounding with
+        renormalization when the low-case rounding carries up.
+        """
+        p = fmt.precision
+        high = (product >> (2 * p - 1)) & 1
+        rounded, carry = round_significand(product, p, mode="injection")
+        increment = high | carry
+        exponent = ux.exponent + uy.exponent - fmt.bias + increment
+        flags = self._range_flags(exponent, fmt)
+        return rounded, exponent, flags
+
+    def _fp_datapath_fp64(self, ux, uy):
+        array = build_pp_array(ux.significand, uy.significand, width=64,
+                               radix_log2=4, product_width=128)
+        s, c, _schedule = reduce_pp_array(array)
+        r1, r0 = injection_vectors([FP64_LANE])
+        p1, p0 = speculative_sums(s, c, r1, r0, split=False)
+        lane = normalize_round_lane(p1, p0, FP64_LANE)
+        exponent = (ux.exponent + uy.exponent - BINARY64.bias
+                    + lane.exponent_increment)
+        flags = self._range_flags(exponent, BINARY64)
+        self.last_trace = DatapathTrace(
+            fmt=MFFormat.FP64, pp_array=array, tree_sum=s, tree_carry=c,
+            p1=p1, p0=p0, lane_results=(lane,), exponents=(exponent,),
+            flags=flags,
+        )
+        return lane.significand, exponent, flags
+
+    # ------------------------------------------------------------------
+    # dual binary32
+    # ------------------------------------------------------------------
+
+    def _multiply_fp32x2(self, operands):
+        unpacked = []
+        for lane in (0, 1):
+            xe, ye = operands.lane32(lane)
+            special = self._special_product(xe, ye, BINARY32)
+            if special is not None:
+                unpacked.append((None, None, special))
+                continue
+            ux = self._unpack(xe, BINARY32)
+            uy = self._unpack(ye, BINARY32)
+            unpacked.append((ux, uy, None))
+
+        if self.mode == "full" or self.fidelity == "fast":
+            encodings = []
+            all_flags = []
+            for ux, uy, special in unpacked:
+                if special is not None:
+                    encodings.append(special)
+                    all_flags.append(())
+                    continue
+                if self.mode == "full":
+                    sig, exponent, flags = self._fp_exact(ux, uy, BINARY32)
+                else:
+                    sig, exponent, flags = self._fast_round(
+                        ux.significand * uy.significand, ux, uy, BINARY32)
+                encodings.append(BINARY32.pack(
+                    ux.sign ^ uy.sign, exponent & BINARY32.exponent_mask,
+                    sig & mask(23)))
+                all_flags.append(flags)
+            ph = (encodings[1] << 32) | encodings[0]
+            return ResultBundle(ph=ph, pl=0, fmt=MFFormat.FP32X2,
+                                flags=tuple(f for fl in all_flags for f in fl))
+
+        (ux0, uy0, _s0), (ux1, uy1, _s1) = unpacked
+        array = build_dual_lane_pp_array(
+            ux0.significand, uy0.significand,
+            ux1.significand, uy1.significand,
+        )
+        s, c, _schedule = reduce_pp_array(array)
+        r1, r0 = injection_vectors([FP32_LOW_LANE, FP32_HIGH_LANE])
+        p1, p0 = speculative_sums(s, c, r1, r0, split=True)
+        low = normalize_round_lane(p1, p0, FP32_LOW_LANE)
+        high = normalize_round_lane(p1, p0, FP32_HIGH_LANE)
+
+        encodings = []
+        exponents = []
+        flags = []
+        for lane_result, (ux, uy) in ((low, (ux0, uy0)), (high, (ux1, uy1))):
+            exponent = (ux.exponent + uy.exponent - BINARY32.bias
+                        + lane_result.exponent_increment)
+            flags.extend(self._range_flags(exponent, BINARY32))
+            exponents.append(exponent)
+            encodings.append(BINARY32.pack(
+                ux.sign ^ uy.sign, exponent & BINARY32.exponent_mask,
+                lane_result.significand & mask(23)))
+        self.last_trace = DatapathTrace(
+            fmt=MFFormat.FP32X2, pp_array=array, tree_sum=s, tree_carry=c,
+            p1=p1, p0=p0, lane_results=(low, high),
+            exponents=tuple(exponents), flags=tuple(flags),
+        )
+        ph = (encodings[1] << 32) | encodings[0]
+        return ResultBundle(ph=ph, pl=0, fmt=MFFormat.FP32X2,
+                            flags=tuple(flags))
+
+    # ------------------------------------------------------------------
+    # quad binary16 (extension format)
+    # ------------------------------------------------------------------
+
+    def _multiply_fp16x4(self, operands):
+        """Four binary16 products per issue (beyond the paper's formats).
+
+        Shares all the machinery: the quad-lane PP array at 32-bit
+        pitch, the multi-window Fig. 3 flow, per-lane exponent paths.
+        """
+        from repro.arith.partial_products import build_quad_lane_pp_array
+        from repro.arith.rounding import FP16_LANES, normalize_round_fp16_quad
+        from repro.bits.ieee754 import BINARY16
+
+        unpacked = []
+        for lane in range(4):
+            xe, ye = operands.lane16(lane)
+            special = self._special_product(xe, ye, BINARY16)
+            if special is not None:
+                unpacked.append((None, None, special))
+                continue
+            ux = self._unpack(xe, BINARY16)
+            uy = self._unpack(ye, BINARY16)
+            unpacked.append((ux, uy, None))
+
+        encodings = []
+        flags: list = []
+        if self.mode == "full" or self.fidelity == "fast":
+            for ux, uy, special in unpacked:
+                if special is not None:
+                    encodings.append(special)
+                    continue
+                if self.mode == "full":
+                    sig, exponent, lane_flags = self._fp_exact(ux, uy,
+                                                               BINARY16)
+                else:
+                    sig, exponent, lane_flags = self._fast_round(
+                        ux.significand * uy.significand, ux, uy, BINARY16)
+                flags.extend(lane_flags)
+                encodings.append(BINARY16.pack(
+                    ux.sign ^ uy.sign, exponent & BINARY16.exponent_mask,
+                    sig & mask(10)))
+        else:
+            sigs_x = [u[0].significand for u in unpacked]
+            sigs_y = [u[1].significand for u in unpacked]
+            array = build_quad_lane_pp_array(sigs_x, sigs_y)
+            s, c, __ = reduce_pp_array(array)
+            lanes = normalize_round_fp16_quad(s, c)
+            for (ux, uy, __unused), lane_result in zip(unpacked, lanes):
+                exponent = (ux.exponent + uy.exponent - BINARY16.bias
+                            + lane_result.exponent_increment)
+                flags.extend(self._range_flags(exponent, BINARY16))
+                encodings.append(BINARY16.pack(
+                    ux.sign ^ uy.sign, exponent & BINARY16.exponent_mask,
+                    lane_result.significand & mask(10)))
+            self.last_trace = DatapathTrace(
+                fmt=MFFormat.FP16X4, pp_array=array, tree_sum=s,
+                tree_carry=c, lane_results=tuple(lanes),
+                flags=tuple(flags),
+            )
+        ph = sum(enc << (16 * k) for k, enc in enumerate(encodings))
+        return ResultBundle(ph=ph, pl=0, fmt=MFFormat.FP16X4,
+                            flags=tuple(flags))
+
+    # ------------------------------------------------------------------
+    # operand unpacking and the full-mode IEEE envelope
+    # ------------------------------------------------------------------
+
+    def _unpack(self, encoding, fmt):
+        sign, biased, fraction = fmt.unpack(encoding)
+        if 0 < biased < fmt.exponent_mask:
+            return _UnpackedFloat(sign, biased,
+                                  fraction | (1 << fmt.trailing_significand_bits))
+        if self.mode == "paper":
+            kind = ("zero" if (biased == 0 and fraction == 0) else
+                    "subnormal" if biased == 0 else
+                    "infinity" if fraction == 0 else "NaN")
+            raise UnsupportedOperationError(
+                f"the paper's unit only multiplies normalized {fmt.name} "
+                f"operands; got a {kind}"
+            )
+        if biased == 0 and fraction != 0:
+            # Full mode: normalize the subnormal into an unbiased-extended
+            # exponent so the shared core can treat it uniformly.
+            shift = fmt.precision - fraction.bit_length()
+            return _UnpackedFloat(sign, 1 - shift,
+                                  fraction << shift)
+        return None    # zero, inf or NaN: handled by _special_product
+
+    def _special_product(self, xe, ye, fmt):
+        """IEEE special-value handling (full mode only); None if ordinary."""
+        if self.mode == "paper":
+            return None
+        x_nan, y_nan = fmt.is_nan(xe), fmt.is_nan(ye)
+        x_inf, y_inf = fmt.is_inf(xe), fmt.is_inf(ye)
+        x_zero, y_zero = fmt.is_zero(xe), fmt.is_zero(ye)
+        sign = ((xe >> fmt.sign_position) ^ (ye >> fmt.sign_position)) & 1
+        if x_nan or y_nan or (x_inf and y_zero) or (y_inf and x_zero):
+            return fmt.pack(0, fmt.exponent_mask,
+                            1 << (fmt.trailing_significand_bits - 1))
+        if x_inf or y_inf:
+            return fmt.pack(sign, fmt.exponent_mask, 0)
+        if x_zero or y_zero:
+            return fmt.pack(sign, 0, 0)
+        return None
+
+    def _fp_exact(self, ux, uy, fmt):
+        """Full-mode core: exact product, subnormal-aware IEEE rounding.
+
+        ``ux``/``uy`` carry significands with the hidden bit set and
+        possibly *extended* exponents (subnormal inputs were normalized
+        by :meth:`_unpack`), so the exact value of the product is
+        ``mx * my * 2**(ex + ey - 2*bias - 2*(p-1))``.
+        """
+        p = fmt.precision
+        product = ux.significand * uy.significand
+        high = (product >> (2 * p - 1)) & 1
+        leading = 2 * p - 2 + high          # bit index of the leading one
+        # Unbiased exponent of the product's leading bit.
+        exp_unbiased = (ux.exponent - fmt.bias) + (uy.exponent - fmt.bias) + high
+        rmode = "rne" if self.rounding is RoundingMode.RNE else "injection"
+
+        if exp_unbiased < fmt.emin:
+            return self._fp_exact_subnormal(product, leading, exp_unbiased,
+                                            fmt, rmode)
+
+        sig, carry = round_significand(product, p, mode=rmode)
+        exp_unbiased += carry
+        biased = exp_unbiased + fmt.bias
+        inexact = (Flag.INEXACT,) if product & mask(leading + 1 - p) else ()
+        if biased >= fmt.exponent_mask:
+            # Overflow to infinity (fraction 0, all-ones exponent).
+            return 0, fmt.exponent_mask, (Flag.OVERFLOW, Flag.INEXACT)
+        return sig, biased, inexact
+
+    @staticmethod
+    def _fp_exact_subnormal(product, leading, exp_unbiased, fmt, rmode):
+        """Round an exact product into the subnormal range of ``fmt``."""
+        p = fmt.precision
+        shift = fmt.emin - exp_unbiased     # > 0
+        keep = p - shift                    # fraction bits that survive
+        flags = (Flag.UNDERFLOW, Flag.INEXACT)
+        if keep <= 0:
+            # The value is at most half the smallest subnormal ulp away
+            # from zero; only a value >= half an ulp can round to 1.
+            if keep == 0:
+                if rmode == "injection":        # ties round up
+                    return 1, 0, flags
+                above_half = product > (1 << leading)
+                return (1 if above_half else 0), 0, flags
+            return 0, 0, flags
+        sig, carry = round_significand(product, keep, mode=rmode)
+        if carry:
+            # Renormalized by round_significand: the true rounded value
+            # was 2**keep.
+            full = 1 << keep
+        else:
+            full = sig
+        if full >> (p - 1):
+            # Rounded all the way up to the smallest normal.
+            return 1 << (p - 1), 1, flags
+        inexact = product & mask(leading + 1 - keep)
+        if not inexact:
+            return full, 0, (Flag.UNDERFLOW,)
+        return full, 0, flags
+
+    @staticmethod
+    def _range_flags(biased_exponent, fmt):
+        if biased_exponent >= fmt.exponent_mask:
+            return (Flag.OVERFLOW,)
+        if biased_exponent <= 0:
+            return (Flag.UNDERFLOW,)
+        return ()
+
+

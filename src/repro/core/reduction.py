@@ -1,0 +1,211 @@
+"""binary64 -> binary32 reduction (Sec. IV, Algorithm 1 and Fig. 6).
+
+A binary64 operand can be demoted **error-free** to binary32 when
+
+1.  its re-biased exponent ``E32 = E64 - 896`` is positive
+    (``896 = 1023 - 127``, the bias difference);
+2.  ``E64 - 1151 < 0`` so ``E32 <= 254`` stays below the binary32
+    infinity/NaN encoding (``1151 = 896 + 255``);
+3.  the 29 least significant fraction bits are all zero
+    (a 52-bit fraction whose payload fits 23 bits).
+
+The hardware cost (Fig. 6) is one 5-bit adder (the 7 LSBs of -896 are
+zero), one 12-bit adder (-1151 is odd; the figure draws 11 bits — see
+DESIGN.md), a 29-input OR tree and a 2:1 mux.
+
+Demoting operands pays because a single binary32 multiplication is ~2x
+more power-efficient than binary64 and the dual-lane mode ~2.8x
+(Table V); :mod:`repro.eval.experiments` quantifies the savings.
+
+Extensions (the paper's future work, opt-in):
+
+* :class:`PeriodicReducer` also demotes significands whose fraction is a
+  repeating bit pattern (e.g. products of small ratios like 1/3 or
+  decimal constants like 0.1), rounding the periodic tail with a bounded
+  error instead of requiring exact zeros;
+* :class:`LossyReducer` demotes whenever the value is representable in
+  binary32 within a caller-chosen ulp budget.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bits.ieee754 import BINARY32, BINARY64, decode
+from repro.bits.utils import mask
+from repro.errors import FormatError
+
+#: Bias difference binary64 -> binary32 (Algorithm 1's ``-896``).
+BIAS_DELTA = BINARY64.bias - BINARY32.bias
+#: Upper-bound constant of Algorithm 1 (``-1151``).
+UPPER_BOUND = BIAS_DELTA + BINARY32.exponent_mask
+#: Fraction bits that must be zero (52 - 23).
+DISCARDED_FRACTION_BITS = (
+    BINARY64.trailing_significand_bits - BINARY32.trailing_significand_bits
+)
+
+
+@dataclass(frozen=True)
+class ReductionDecision:
+    """Outcome of one reduction attempt (mirrors the Fig. 6 signals)."""
+
+    reduced: bool
+    encoding32: Optional[int]   # binary32 encoding when reduced
+    e32: int                    # Algorithm 1's Eb32 = Eb64 - 896 (signed)
+    c1: int                     # 1 when Eb32 > 0 (lower-bound check passes)
+    c2: int                     # 1 when Eb64 - 1151 < 0 (upper bound passes)
+    zero: int                   # OR of the 29 LSBs (0 required to reduce)
+
+
+def reduce_binary64(encoding64):
+    """Run Algorithm 1 on a binary64 encoding.
+
+    Returns a :class:`ReductionDecision`; when ``reduced`` the binary32
+    encoding represents *exactly* the same real value (property-tested).
+    """
+    sign, e64, fraction = BINARY64.unpack(encoding64)
+    e32 = e64 - BIAS_DELTA
+    c1 = 1 if e32 > 0 else 0
+    c2 = 1 if (e64 - UPPER_BOUND) < 0 else 0
+    low = fraction & mask(DISCARDED_FRACTION_BITS)
+    zero = 1 if low else 0
+    ok = bool(c1 and c2 and not zero)
+    encoding32 = None
+    if ok:
+        encoding32 = BINARY32.pack(sign, e32,
+                                   fraction >> DISCARDED_FRACTION_BITS)
+    return ReductionDecision(reduced=ok, encoding32=encoding32, e32=e32,
+                             c1=c1, c2=c2, zero=zero)
+
+
+def widen_binary32(encoding32):
+    """The inverse conversion (exact by construction): binary32 -> binary64."""
+    sign, e32, fraction = BINARY32.unpack(encoding32)
+    if e32 == 0 or e32 == BINARY32.exponent_mask:
+        raise FormatError(
+            "widen_binary32 handles normalized values only (as does the unit)"
+        )
+    return BINARY64.pack(sign, e32 + BIAS_DELTA,
+                         fraction << DISCARDED_FRACTION_BITS)
+
+
+def is_reducible(encoding64):
+    """Convenience predicate over Algorithm 1."""
+    return reduce_binary64(encoding64).reduced
+
+
+class PeriodicReducer:
+    """Future-work extension: also demote *periodic* significands.
+
+    A fraction produced by a ratio of small integers has an eventually
+    repeating bit pattern; when the 52-bit fraction continues a period
+    ``P <= max_period`` established in the kept 23 bits, demoting to
+    binary32 with round-to-nearest loses at most half a binary32 ulp —
+    and re-expanding by replaying the period recovers the binary64 value
+    exactly.  ``reduce`` reports both.
+    """
+
+    def __init__(self, max_period=12):
+        if not 1 <= max_period <= BINARY32.trailing_significand_bits:
+            raise FormatError(
+                f"max_period must be in 1..23, got {max_period}"
+            )
+        self.max_period = max_period
+
+    def reduce(self, encoding64):
+        exact = reduce_binary64(encoding64)
+        if exact.reduced:
+            return exact
+        if not (exact.c1 and exact.c2):
+            return exact
+        sign, e64, fraction = BINARY64.unpack(encoding64)
+        period = self._find_period(fraction)
+        if period is None:
+            return exact
+        # Round the 52-bit fraction to 23 bits (nearest, ties to even on
+        # the kept field).
+        kept, carry = _round_fraction(fraction)
+        e32 = exact.e32 + carry
+        if not 0 < e32 < BINARY32.exponent_mask:
+            return exact
+        encoding32 = BINARY32.pack(sign, e32, kept)
+        return ReductionDecision(reduced=True, encoding32=encoding32,
+                                 e32=e32, c1=exact.c1, c2=exact.c2,
+                                 zero=exact.zero)
+
+    def _find_period(self, fraction):
+        """Smallest period of the 52-bit fraction, or None."""
+        bits = [(fraction >> (51 - i)) & 1 for i in range(52)]
+        for period in range(1, self.max_period + 1):
+            if all(bits[i] == bits[i % period] for i in range(52)):
+                return period
+        return None
+
+    def expand(self, encoding32):
+        """Replay the period to reconstruct a binary64 from a reduced value.
+
+        Exact for values reduced by this class when the period divides
+        the kept field evenly; otherwise best-effort (documented
+        limitation of the future-work sketch).
+        """
+        sign, e32, fraction23 = BINARY32.unpack(encoding32)
+        bits = [(fraction23 >> (22 - i)) & 1 for i in range(23)]
+        period = None
+        for p in range(1, self.max_period + 1):
+            if all(bits[i] == bits[i % p] for i in range(23)):
+                period = p
+                break
+        if period is None:
+            return widen_binary32(encoding32)
+        full = [bits[i % period] for i in range(52)]
+        fraction52 = 0
+        for i, b in enumerate(full):
+            fraction52 |= b << (51 - i)
+        return BINARY64.pack(sign, e32 + BIAS_DELTA, fraction52)
+
+
+class LossyReducer:
+    """Future-work extension: demote within an explicit error budget.
+
+    ``max_ulp_error`` is measured in binary32 ulps of the result; the
+    exact Algorithm 1 reduction corresponds to a budget of 0.
+    """
+
+    def __init__(self, max_ulp_error=0.5):
+        if max_ulp_error < 0:
+            raise FormatError("max_ulp_error must be non-negative")
+        self.max_ulp_error = max_ulp_error
+
+    def reduce(self, encoding64):
+        exact = reduce_binary64(encoding64)
+        if exact.reduced or not (exact.c1 and exact.c2):
+            return exact
+        sign, e64, fraction = BINARY64.unpack(encoding64)
+        kept, carry = _round_fraction(fraction)
+        e32 = exact.e32 + carry
+        if not 0 < e32 < BINARY32.exponent_mask:
+            return exact
+        candidate = BINARY32.pack(sign, e32, kept)
+        value64 = decode(encoding64, BINARY64)
+        value32 = decode(candidate, BINARY32)
+        ulp = 2.0 ** (e32 - BINARY32.bias - BINARY32.trailing_significand_bits)
+        if abs(value32 - value64) <= self.max_ulp_error * ulp:
+            return ReductionDecision(reduced=True, encoding32=candidate,
+                                     e32=e32, c1=exact.c1, c2=exact.c2,
+                                     zero=exact.zero)
+        return exact
+
+
+def _round_fraction(fraction52):
+    """Round a 52-bit fraction to 23 bits, nearest/ties-to-even.
+
+    Returns ``(fraction23, exponent_carry)``.
+    """
+    d = DISCARDED_FRACTION_BITS
+    kept = fraction52 >> d
+    guard = (fraction52 >> (d - 1)) & 1
+    sticky = 1 if (fraction52 & mask(d - 1)) else 0
+    if guard and (sticky or (kept & 1)):
+        kept += 1
+    if kept >> BINARY32.trailing_significand_bits:
+        return 0, 1
+    return kept, 0

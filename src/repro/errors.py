@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class BitWidthError(ReproError, ValueError):
+    """A value does not fit in, or a width is invalid for, a bit field."""
+
+
+class FormatError(ReproError, ValueError):
+    """An operand does not conform to the selected floating-point format."""
+
+
+class NetlistError(ReproError):
+    """A structural netlist is malformed (dangling nets, double drivers...)."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out (uninitialized inputs, ...)."""
+
+
+class PipelineError(ReproError):
+    """A pipeline partition is inconsistent with the underlying netlist."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The requested operation is outside the unit's supported behaviour.
+
+    The paper's unit deliberately omits some IEEE-754 features (subnormal
+    operands, sticky-based tie handling); in "paper mode" those raise this
+    error instead of silently producing a wrong result.
+    """

@@ -1,0 +1,48 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``experiment_*`` function in :mod:`repro.eval.experiments` returns a
+structured result object and can render itself as text in the paper's
+own format; the benchmarks call these and print paper-vs-measured rows.
+"""
+
+from repro.eval.activity import experiment_activity
+from repro.eval.fault_injection import mutation_coverage
+from repro.eval.report import generate_report
+from repro.eval.traces import TRACES, generate_trace, reducibility
+from repro.eval.experiments import (
+    experiment_fig1_ppgen,
+    experiment_fig2_multiplier,
+    experiment_fig3_normround,
+    experiment_fig4_dual_lane,
+    experiment_fig5_pipeline,
+    experiment_fig6_reduction,
+    experiment_section4_savings,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+from repro.eval.workloads import WorkloadGenerator
+
+__all__ = [
+    "WorkloadGenerator",
+    "experiment_activity",
+    "experiment_fig1_ppgen",
+    "experiment_fig2_multiplier",
+    "experiment_fig3_normround",
+    "experiment_fig4_dual_lane",
+    "experiment_fig5_pipeline",
+    "experiment_fig6_reduction",
+    "experiment_section4_savings",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_table5",
+    "generate_report",
+    "generate_trace",
+    "mutation_coverage",
+    "reducibility",
+    "TRACES",
+]

@@ -1,0 +1,65 @@
+"""Calibration provenance for the power and timing models.
+
+The substrate has exactly **three** calibrated constants, fixed once and
+frozen (no per-table tuning):
+
+1.  cell delays — a single global scale applied to an initial
+    logical-effort-style characterization so the combinational radix-16
+    multiplier lands near the paper's 29 FO4 (Table I).  The INV is
+    pinned independently by the paper's FO4 = 64 ps anchor.
+2.  ``CellLibrary.energy_fj_per_unit`` — chosen so the two-stage
+    pipelined radix-16 multiplier dissipates ~7.7 mW at 100 MHz
+    (Table III's radix-16 pipelined entry).
+3.  ``CellLibrary.glitch_retention`` — the share of event-simulation
+    glitch transitions charged as real energy (logic-level event
+    simulation overcounts glitches absent slew filtering); chosen
+    jointly with (2) so the *radix-4* pipelined entry lands near its
+    8.7 mW as well.
+
+Everything else in every table — ratios, orderings, per-format
+differences, crossovers — follows from netlist structure and simulated
+activity.  :func:`check_calibration` re-derives the anchors so the test
+suite can detect drift.
+"""
+
+from dataclasses import dataclass
+
+from repro.eval.workloads import WorkloadGenerator
+from repro.hdl.library import FO4_PS, NAND2_AREA_UM2, default_library
+from repro.hdl.power.monte_carlo import estimate_power
+from repro.hdl.timing.sta import analyze
+
+
+@dataclass
+class CalibrationStatus:
+    fo4_ps: float
+    nand2_area_um2: float
+    r16_pipe_power_mw: float
+    r4_pipe_power_mw: float
+    r16_latency_fo4: float
+
+    @property
+    def anchors_ok(self):
+        return (abs(self.fo4_ps - FO4_PS) < 1e-9
+                and abs(self.nand2_area_um2 - NAND2_AREA_UM2) < 1e-9)
+
+
+def check_calibration(n_cycles=12, seed=2017):
+    """Re-measure the calibration anchors (used by tests/benchmarks)."""
+    from repro.eval.experiments import cached_module
+
+    lib = default_library()
+    gen = WorkloadGenerator(seed)
+    stim = gen.multiplier_stimulus(n_cycles)
+    r16_pipe = estimate_power(cached_module("r16_pipe"), lib, stim, n_cycles)
+    gen = WorkloadGenerator(seed)
+    stim = gen.multiplier_stimulus(n_cycles)
+    r4_pipe = estimate_power(cached_module("r4_pipe"), lib, stim, n_cycles)
+    timing = analyze(cached_module("r16"), lib)
+    return CalibrationStatus(
+        fo4_ps=lib.fo4_ps,
+        nand2_area_um2=lib.spec("NAND2").area_um2,
+        r16_pipe_power_mw=r16_pipe.total_mw,
+        r4_pipe_power_mw=r4_pipe.total_mw,
+        r16_latency_fo4=timing.latency_fo4,
+    )

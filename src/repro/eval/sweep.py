@@ -1,0 +1,171 @@
+"""Design-space sweeps (the ablation studies).
+
+The paper makes several design choices it argues for but does not
+sweep; we do:
+
+* **radix** — 4 vs 8 vs 16 (Sec. II-A argues radix-8 is dominated);
+* **final CPA style** — ripple / Brent-Kung / Kogge-Stone / carry-select;
+* **pipeline cut** — after the pre-computation vs after PPGEN;
+* **tree style** — Dadda 3:2 vs 4:2-compressor-first.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.mult_common import build_multiplier
+from repro.eval.tables import render_table
+from repro.eval.workloads import WorkloadGenerator
+from repro.hdl.area.model import area_report
+from repro.hdl.library import default_library
+from repro.hdl.power.monte_carlo import estimate_power
+from repro.hdl.sim.levelized import LevelizedSimulator
+from repro.hdl.timing.sta import analyze
+
+
+@dataclass
+class DesignPoint:
+    """One multiplier configuration's measurements."""
+
+    label: str
+    gates: int
+    registers: int
+    latency_ps: float
+    clock_ps: float
+    area_knand2: float
+    power_mw: Optional[float] = None
+
+    def as_row(self):
+        return (self.label, self.gates, self.registers,
+                round(self.latency_ps), round(self.clock_ps),
+                round(self.area_knand2, 1),
+                "-" if self.power_mw is None else round(self.power_mw, 2))
+
+
+@dataclass
+class SweepResult:
+    title: str
+    points: List[DesignPoint]
+
+    def render(self):
+        return render_table(
+            ("config", "gates", "regs", "latency[ps]", "clock[ps]",
+             "area[K]", "power[mW]"),
+            [p.as_row() for p in self.points], title=self.title)
+
+
+def measure_design_point(label, module, power_cycles=0, seed=2017,
+                         verify_patterns=16):
+    """STA + area (+ optional power) for one built multiplier module."""
+    lib = default_library()
+    if verify_patterns:
+        gen = WorkloadGenerator(seed)
+        stim = gen.multiplier_stimulus(verify_patterns)
+        run = LevelizedSimulator(module).run(stim, verify_patterns)
+        latency = module.stage_count() - 1
+        for t in range(verify_patterns - latency):
+            expect = stim["x"][t] * stim["y"][t]
+            got = run.bus_word(module.outputs["p"], t + latency)
+            assert got == expect, f"{label}: wrong product at pattern {t}"
+    timing = analyze(module, lib)
+    area = area_report(module, lib)
+    power = None
+    if power_cycles:
+        gen = WorkloadGenerator(seed)
+        stim = gen.multiplier_stimulus(power_cycles)
+        power = estimate_power(module, lib, stim, power_cycles).total_mw
+    return DesignPoint(
+        label=label,
+        gates=len(module.gates),
+        registers=len(module.registers),
+        latency_ps=timing.latency_ps,
+        clock_ps=timing.clock_period_ps,
+        area_knand2=area.total_nand2_eq / 1000.0,
+        power_mw=power,
+    )
+
+
+def sweep_radix(power_cycles=0):
+    """Radix 4 / 8 / 16, combinational (the Sec. II-A trade-off)."""
+    points = []
+    for k, label in ((2, "radix-4"), (3, "radix-8"), (4, "radix-16")):
+        module = build_multiplier(k)
+        points.append(measure_design_point(label, module,
+                                           power_cycles=power_cycles))
+    return SweepResult(title="Ablation: radix", points=points)
+
+
+def sweep_cpa_style(radix_log2=4, power_cycles=0):
+    """Final CPA style on the radix-16 multiplier."""
+    points = []
+    for style in ("ripple", "brent_kung", "kogge_stone", "carry_select"):
+        module = build_multiplier(radix_log2, adder_style=style)
+        points.append(measure_design_point(f"cpa={style}", module,
+                                           power_cycles=power_cycles))
+    return SweepResult(title="Ablation: CPA style", points=points)
+
+
+def sweep_pipeline_cut(radix_log2=4, power_cycles=0):
+    """Register placement for the 2-stage multiplier (Sec. III-D theme)."""
+    points = []
+    for cut in (None, "after_precomp", "after_ppgen"):
+        module = build_multiplier(radix_log2, pipeline_cut=cut)
+        points.append(measure_design_point(f"cut={cut}", module,
+                                           power_cycles=power_cycles))
+    return SweepResult(title="Ablation: pipeline cut", points=points)
+
+
+def sweep_specialization():
+    """The cost of multi-format flexibility.
+
+    Ties the MF unit's ``frmt`` input to each single format and lets the
+    optimizer reap the other formats' logic; the cell-count delta vs the
+    full unit bounds what the paper's flexibility costs.
+    """
+    from repro.core.pipeline_unit import (
+        FRMT_FP32X2,
+        FRMT_FP64,
+        FRMT_INT64,
+        build_mf_multiplier,
+    )
+    from repro.hdl.optimize import optimize, tie_input
+
+    from repro.hdl.buffering import insert_buffers
+
+    lib = default_library()
+    points = []
+    full = build_mf_multiplier()
+    area = area_report(full, lib)
+    points.append(DesignPoint(
+        label="multi-format", gates=len(full.gates),
+        registers=len(full.registers),
+        latency_ps=analyze(full, lib).latency_ps,
+        clock_ps=analyze(full, lib).clock_period_ps,
+        area_knand2=area.total_nand2_eq / 1000.0))
+    for label, code in (("int64-only", FRMT_INT64),
+                        ("fp64-only", FRMT_FP64),
+                        ("fp32x2-only", FRMT_FP32X2)):
+        module = build_mf_multiplier(buffer_max_load=None)
+        tie_input(module, "frmt", code)
+        optimize(module)
+        insert_buffers(module, lib)
+        timing = analyze(module, lib)
+        area = area_report(module, lib)
+        points.append(DesignPoint(
+            label=label, gates=len(module.gates),
+            registers=len(module.registers),
+            latency_ps=timing.latency_ps,
+            clock_ps=timing.clock_period_ps,
+            area_knand2=area.total_nand2_eq / 1000.0))
+    return SweepResult(title="Ablation: format specialization", points=points)
+
+
+def sweep_tree_style(power_cycles=0):
+    """Dadda 3:2 vs 4:2-first reduction, radix-4 and radix-16."""
+    points = []
+    for k, label in ((2, "radix-4"), (4, "radix-16")):
+        for use42 in (False, True):
+            module = build_multiplier(k, use_4_2=use42)
+            tag = "4:2" if use42 else "3:2"
+            points.append(measure_design_point(f"{label} {tag}", module,
+                                               power_cycles=power_cycles))
+    return SweepResult(title="Ablation: tree style", points=points)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from typing import List, Optional, Sequence
+
+
+def render_table(headers, rows, title=None):
+    """Render a simple aligned text table."""
+    cols = len(headers)
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(cols)))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows, title=None,
+                      headers=("quantity", "paper", "measured", "ratio")):
+    """Render paper-vs-measured rows ``(name, paper_value, measured)``.
+
+    The ratio column shows measured/paper when both are numeric.
+    """
+    table_rows = []
+    for name, paper, measured in rows:
+        ratio = ""
+        if _is_number(paper) and _is_number(measured) and paper:
+            ratio = f"{measured / paper:.2f}"
+        table_rows.append((name, paper, measured, ratio))
+    return render_table(headers, table_rows, title=title)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)

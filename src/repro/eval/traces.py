@@ -1,0 +1,162 @@
+"""Named synthetic application traces for the Sec. IV experiments.
+
+The paper motivates demotion with applications whose data are "small
+integers or small fractions".  Instead of only sweeping an abstract
+reducible fraction, these generators synthesize operand streams with
+the *value distributions* of recognizable workload families, and report
+each family's measured reducibility — turning Sec. IV's claim into a
+per-workload statement.
+
+All traces are seeded and return binary64 encoding pairs ready for
+:class:`repro.core.vector_unit.VectorMultiplier`.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.bits.ieee754 import BINARY64, encode
+from repro.core.reduction import reduce_binary64
+from repro.errors import FormatError
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """A named workload family."""
+
+    name: str
+    description: str
+    generator: Callable[[random.Random, int], List[Tuple[int, int]]]
+
+
+def _enc(v):
+    return encode(v, BINARY64)
+
+
+def _dsp_fir(rng, n):
+    """FIR filtering: quantized coefficients times sensor samples.
+
+    Coefficients come from a designed filter quantized to 16 fractional
+    bits (exactly representable in binary32); samples are 12-bit ADC
+    readings scaled to [-1, 1) — dyadic, also exact.
+    """
+    taps = [math.sin(0.1 * (i + 1)) / (i + 1) for i in range(16)]
+    coeffs = [round(t * (1 << 16)) / (1 << 16) for t in taps]
+    pairs = []
+    for i in range(n):
+        c = coeffs[i % len(coeffs)] or 1.0 / (1 << 16)
+        sample = rng.randint(-2048, 2047) / 2048.0
+        if sample == 0.0:
+            sample = 1.0 / 2048.0
+        if rng.random() < 0.2:
+            # Calibrated channels carry a full-precision gain factor.
+            sample *= 1.0 + rng.uniform(-1e-3, 1e-3)
+        pairs.append((_enc(c), _enc(sample)))
+    return pairs
+
+
+def _graphics_transform(rng, n):
+    """Vertex transforms: rotation-matrix entries times coordinates.
+
+    Matrix entries are trigonometric values (irrational, full mantissas);
+    coordinates are snapped to a millimeter grid (dyadic within range).
+    Half of each pair is typically non-reducible.
+    """
+    pairs = []
+    for __ in range(n):
+        if rng.random() < 0.55:
+            # Axis-aligned / snapped transforms: exact dyadic entries.
+            entry = rng.choice([1.0, -1.0, 0.5, -0.5, 0.25, 2.0])
+        else:
+            entry = math.cos(rng.uniform(0, 2 * math.pi)) or 0.5
+        coord = rng.randint(-(1 << 20), (1 << 20)) / 1024.0
+        if coord == 0.0:
+            coord = 1.0 / 1024.0
+        pairs.append((_enc(entry), _enc(coord)))
+    return pairs
+
+
+def _ml_inference(rng, n):
+    """Quantization-aware inference: int8-quantized weights times
+    activations that came through a binary32 pipeline."""
+    pairs = []
+    scale = 1.0 / 128.0
+    for __ in range(n):
+        w = rng.randint(-127, 127) or 1
+        weight = w * scale                       # exactly representable
+        if rng.random() < 0.3:
+            # Activations accumulated in binary64 (softmax outputs etc.)
+            # keep full mantissas.
+            activation = rng.uniform(1e-4, 1e2)
+        else:
+            a_bits = rng.getrandbits(23)
+            activation = (1 + a_bits / (1 << 23)) \
+                * 2.0 ** rng.randint(-8, 8)
+        pairs.append((_enc(weight), _enc(activation)))
+    return pairs
+
+
+def _scientific(rng, n):
+    """Scientific kernels: full-precision state times full-precision
+    state — essentially nothing reduces (the paper's fallback case)."""
+    pairs = []
+    for __ in range(n):
+        a = rng.uniform(-1e6, 1e6) or 1.0
+        b = rng.gauss(0, 1e3) or 1.0
+        pairs.append((_enc(a), _enc(b)))
+    return pairs
+
+
+def _monte_carlo_finance(rng, n):
+    """Monte Carlo pricing: cents-denominated cash flows times
+    full-precision discount factors."""
+    pairs = []
+    for __ in range(n):
+        cash = rng.randint(1, 10_000_000) / 100.0   # cents: NOT dyadic
+        if rng.random() < 0.5:
+            cash = float(rng.randint(1, 100_000))   # whole-dollar flows
+        if rng.random() < 0.5:
+            # Precomputed rate tables quantized to 2^-16.
+            discount = round(math.exp(-rng.uniform(0.0, 0.2)) * (1 << 16)) \
+                / (1 << 16)
+        else:
+            discount = math.exp(-rng.uniform(0.0, 0.2))
+        pairs.append((_enc(cash), _enc(discount)))
+    return pairs
+
+
+TRACES: Dict[str, TraceInfo] = {
+    t.name: t for t in (
+        TraceInfo("dsp_fir", "quantized FIR coefficients x ADC samples",
+                  _dsp_fir),
+        TraceInfo("graphics", "rotation matrices x millimeter-grid "
+                              "coordinates", _graphics_transform),
+        TraceInfo("ml_inference", "int8-quantized weights x binary32 "
+                                  "activations", _ml_inference),
+        TraceInfo("scientific", "full-precision state x state",
+                  _scientific),
+        TraceInfo("finance", "cash flows x discount factors",
+                  _monte_carlo_finance),
+    )
+}
+
+
+def generate_trace(name, n, seed=2017):
+    """Generate ``n`` operand pairs of the named workload family."""
+    try:
+        info = TRACES[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown trace {name!r}; choose from {sorted(TRACES)}"
+        ) from None
+    return info.generator(random.Random(seed), n)
+
+
+def reducibility(pairs):
+    """Fraction of operations whose *both* operands pass Algorithm 1."""
+    if not pairs:
+        return 0.0
+    hits = sum(1 for x, y in pairs
+               if reduce_binary64(x).reduced and reduce_binary64(y).reduced)
+    return hits / len(pairs)

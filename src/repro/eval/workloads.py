@@ -1,0 +1,118 @@
+"""Workload generation for the Monte Carlo experiments.
+
+The paper estimates power "by generating pseudo-random input patterns"
+(Sec. III-E).  :class:`WorkloadGenerator` produces the same kind of
+stimulus — seeded and reproducible — for every operating format, plus
+the structured streams used by the Sec. IV experiments (mixed
+binary64 workloads with a controlled fraction of reducible operands).
+"""
+
+import random
+from typing import Dict, List
+
+from repro.bits.ieee754 import BINARY32, BINARY64
+from repro.core.pipeline_unit import FRMT_FP32X2, FRMT_FP64, FRMT_INT64
+from repro.core.reduction import DISCARDED_FRACTION_BITS, reduce_binary64
+from repro.errors import FormatError
+
+
+class WorkloadGenerator:
+    """Seeded generator of operand streams and netlist stimulus."""
+
+    def __init__(self, seed=2017):
+        self._rng = random.Random(seed)
+
+    # -- raw operands ---------------------------------------------------
+
+    def uint64(self):
+        return self._rng.getrandbits(64)
+
+    def normal_binary64(self, min_biased=1, max_biased=2046):
+        """A uniformly random *normalized* binary64 encoding."""
+        return BINARY64.pack(self._rng.getrandbits(1),
+                             self._rng.randint(min_biased, max_biased),
+                             self._rng.getrandbits(52))
+
+    def normal_binary32(self, min_biased=1, max_biased=254):
+        return BINARY32.pack(self._rng.getrandbits(1),
+                             self._rng.randint(min_biased, max_biased),
+                             self._rng.getrandbits(23))
+
+    def reducible_binary64(self, min_biased=959, max_biased=1087):
+        """A binary64 that passes Algorithm 1 (single-precision payload).
+
+        The default exponent window (unbiased roughly +/-64) models the
+        paper's motivating data — "small integers or small fractions" —
+        so that products of two reducible operands also stay inside the
+        binary32 range and the scheduler can actually demote them.
+        """
+        encoding = BINARY64.pack(
+            self._rng.getrandbits(1),
+            self._rng.randint(min_biased, max_biased),
+            self._rng.getrandbits(23) << DISCARDED_FRACTION_BITS,
+        )
+        decision = reduce_binary64(encoding)
+        if not decision.reduced:
+            raise FormatError("generator invariant broken")  # pragma: no cover
+        return encoding
+
+    def mixed_binary64_stream(self, n, reducible_fraction):
+        """``n`` binary64 operand pairs, a share of them demotable.
+
+        This is the Sec. IV workload: applications whose values are
+        "small integers or small fractions" are modeled by drawing that
+        share of operands from the reducible set.  Non-reducible draws
+        use a central exponent window so products stay within the
+        paper-mode unit's range (it has no overflow handling).
+        """
+        if not 0.0 <= reducible_fraction <= 1.0:
+            raise FormatError("reducible_fraction must be in [0, 1]")
+        pairs = []
+        for __ in range(n):
+            if self._rng.random() < reducible_fraction:
+                pairs.append((self.reducible_binary64(),
+                              self.reducible_binary64()))
+            else:
+                pairs.append((self.normal_binary64(523, 1523),
+                              self.normal_binary64(523, 1523)))
+        return pairs
+
+    # -- netlist stimulus -----------------------------------------------
+
+    def multiplier_stimulus(self, n_cycles):
+        """Random 64-bit pattern pairs for the standalone multipliers."""
+        return {
+            "x": [self.uint64() for __ in range(n_cycles)],
+            "y": [self.uint64() for __ in range(n_cycles)],
+        }
+
+    def mf_stimulus(self, fmt, n_cycles):
+        """Stimulus for the multi-format unit in one operating format.
+
+        ``fmt``: ``"int64"``, ``"fp64"``, ``"fp32_dual"`` or
+        ``"fp32_single"`` (single holds the upper lane's operands
+        constant, modeling an idle lane — Table V's last row).
+        """
+        if fmt == "int64":
+            xs = [self.uint64() for __ in range(n_cycles)]
+            ys = [self.uint64() for __ in range(n_cycles)]
+            code = FRMT_INT64
+        elif fmt == "fp64":
+            xs = [self.normal_binary64() for __ in range(n_cycles)]
+            ys = [self.normal_binary64() for __ in range(n_cycles)]
+            code = FRMT_FP64
+        elif fmt == "fp32_dual":
+            xs = [self.normal_binary32() | (self.normal_binary32() << 32)
+                  for __ in range(n_cycles)]
+            ys = [self.normal_binary32() | (self.normal_binary32() << 32)
+                  for __ in range(n_cycles)]
+            code = FRMT_FP32X2
+        elif fmt == "fp32_single":
+            hold_x = self.normal_binary32() << 32
+            hold_y = self.normal_binary32() << 32
+            xs = [self.normal_binary32() | hold_x for __ in range(n_cycles)]
+            ys = [self.normal_binary32() | hold_y for __ in range(n_cycles)]
+            code = FRMT_FP32X2
+        else:
+            raise FormatError(f"unknown mf workload format {fmt!r}")
+        return {"x": xs, "y": ys, "frmt": [code] * n_cycles}

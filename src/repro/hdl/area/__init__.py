@@ -1,0 +1,5 @@
+"""Area accounting."""
+
+from repro.hdl.area.model import AreaReport, area_report
+
+__all__ = ["AreaReport", "area_report"]

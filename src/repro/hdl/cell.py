@@ -1,0 +1,127 @@
+"""Combinational cell kinds and their boolean semantics.
+
+Every cell has a single output.  The full adder of the reference
+algorithms maps to the pair ``XOR3`` (sum) + ``MAJ3`` (carry), the half
+adder to ``XOR2`` + ``AND2`` — single-output cells keep the simulators'
+data layout flat and fast.
+
+Evaluation functions are written for *bit-parallel* operation: each
+operand is a Python int whose bit ``t`` is the net's value in pattern
+``t``, and ``m`` is the all-patterns mask (needed to bound inversions).
+Scalar evaluation is the special case ``m = 1``.
+"""
+
+from repro.errors import NetlistError
+
+
+def _inv(m, a):
+    return m ^ a
+
+
+def _buf(m, a):
+    return a
+
+
+def _and2(m, a, b):
+    return a & b
+
+
+def _and3(m, a, b, c):
+    return a & b & c
+
+
+def _or2(m, a, b):
+    return a | b
+
+
+def _or3(m, a, b, c):
+    return a | b | c
+
+
+def _nand2(m, a, b):
+    return m ^ (a & b)
+
+
+def _nand3(m, a, b, c):
+    return m ^ (a & b & c)
+
+
+def _nor2(m, a, b):
+    return m ^ (a | b)
+
+
+def _nor3(m, a, b, c):
+    return m ^ (a | b | c)
+
+
+def _xor2(m, a, b):
+    return a ^ b
+
+
+def _xnor2(m, a, b):
+    return m ^ a ^ b
+
+
+def _xor3(m, a, b, c):
+    return a ^ b ^ c
+
+
+def _maj3(m, a, b, c):
+    return (a & b) | (a & c) | (b & c)
+
+
+def _mux2(m, a, b, s):
+    """Output ``a`` when ``s = 0``, ``b`` when ``s = 1``."""
+    return a ^ ((a ^ b) & s)
+
+
+def _aoi21(m, a, b, c):
+    return m ^ ((a & b) | c)
+
+
+def _oai21(m, a, b, c):
+    return m ^ ((a | b) & c)
+
+
+def _ao22(m, a, b, c, d):
+    """AND-OR cell ``(a & b) | (c & d)`` — the Booth-mux workhorse."""
+    return (a & b) | (c & d)
+
+
+#: kind -> (evaluation function, number of inputs)
+CELL_KINDS = {
+    "INV": (_inv, 1),
+    "BUF": (_buf, 1),
+    "AND2": (_and2, 2),
+    "AND3": (_and3, 3),
+    "OR2": (_or2, 2),
+    "OR3": (_or3, 3),
+    "NAND2": (_nand2, 2),
+    "NAND3": (_nand3, 3),
+    "NOR2": (_nor2, 2),
+    "NOR3": (_nor3, 3),
+    "XOR2": (_xor2, 2),
+    "XNOR2": (_xnor2, 2),
+    "XOR3": (_xor3, 3),
+    "MAJ3": (_maj3, 3),
+    "MUX2": (_mux2, 3),
+    "AOI21": (_aoi21, 3),
+    "OAI21": (_oai21, 3),
+    "AO22": (_ao22, 4),
+}
+
+
+def cell_eval(kind):
+    """The bit-parallel evaluation function for a cell kind."""
+    try:
+        return CELL_KINDS[kind][0]
+    except KeyError:
+        raise NetlistError(f"unknown cell kind {kind!r}") from None
+
+
+def cell_num_inputs(kind):
+    """The number of input pins of a cell kind."""
+    try:
+        return CELL_KINDS[kind][1]
+    except KeyError:
+        raise NetlistError(f"unknown cell kind {kind!r}") from None

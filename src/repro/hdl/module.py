@@ -1,0 +1,225 @@
+"""Structural netlists.
+
+A :class:`Module` is a flat net-level description: integer net ids,
+single-output gates, optional pipeline registers, named input/output
+buses (LSB-first lists of nets) and two constant nets.  Hierarchy is
+recorded as a block *tag* per gate (e.g. ``"ppgen/row3"``) — enough for
+the per-block timing/area/power breakdowns the paper reports, without
+the weight of real hierarchy.
+
+Construction idiom::
+
+    m = Module("mult64")
+    x = m.input("x", 64)
+    y = m.input("y", 64)
+    with m.block("ppgen"):
+        n = m.gate("XOR2", x[0], y[0])
+    m.output("p", [n])
+"""
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.hdl.cell import cell_num_inputs
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational cell instance."""
+
+    kind: str
+    inputs: Tuple[int, ...]
+    output: int
+    block: str
+
+
+@dataclass(frozen=True)
+class Register:
+    """One pipeline flip-flop.
+
+    ``stage`` identifies the pipeline cut the register belongs to
+    (1 = between stage 1 and stage 2, matching Fig. 5's numbering).
+    """
+
+    d: int
+    q: int
+    stage: int
+    block: str
+
+
+class Module:
+    """A flat structural netlist under construction."""
+
+    def __init__(self, name):
+        self.name = name
+        self.n_nets = 0
+        self.gates: List[Gate] = []
+        self.registers: List[Register] = []
+        self.inputs: Dict[str, List[int]] = {}
+        self.outputs: Dict[str, List[int]] = {}
+        self._driver: Dict[int, str] = {}     # net -> "gate"/"input"/...
+        self._const_nets: Dict[int, int] = {}  # net -> 0/1
+        self._const_cache: Dict[int, int] = {}
+        self._block_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def new_net(self):
+        net = self.n_nets
+        self.n_nets += 1
+        return net
+
+    @property
+    def current_block(self):
+        return "/".join(self._block_stack)
+
+    @contextlib.contextmanager
+    def block(self, tag):
+        """Scope subsequent gates under ``tag`` (nestable)."""
+        self._block_stack.append(tag)
+        try:
+            yield
+        finally:
+            self._block_stack.pop()
+
+    def input(self, name, width):
+        """Declare a primary input bus; returns its nets, LSB first."""
+        if name in self.inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        bus = [self.new_net() for _ in range(width)]
+        for net in bus:
+            self._driver[net] = "input"
+        self.inputs[name] = bus
+        return bus
+
+    def output(self, name, nets):
+        """Declare a primary output bus over existing nets."""
+        if name in self.outputs:
+            raise NetlistError(f"duplicate output {name!r}")
+        nets = list(nets)
+        for net in nets:
+            self._require_driven(net)
+        self.outputs[name] = nets
+
+    def const(self, value):
+        """The shared constant-0 or constant-1 net."""
+        if value not in (0, 1):
+            raise NetlistError(f"constant must be 0 or 1, got {value!r}")
+        if value not in self._const_cache:
+            net = self.new_net()
+            self._driver[net] = "const"
+            self._const_nets[net] = value
+            self._const_cache[value] = net
+        return self._const_cache[value]
+
+    def gate(self, kind, *inputs, block=None):
+        """Instantiate a cell; returns its output net."""
+        expected = cell_num_inputs(kind)
+        if len(inputs) != expected:
+            raise NetlistError(
+                f"{kind} takes {expected} inputs, got {len(inputs)}"
+            )
+        for net in inputs:
+            self._require_driven(net)
+        out = self.new_net()
+        self._driver[out] = "gate"
+        self.gates.append(Gate(kind=kind, inputs=tuple(inputs), output=out,
+                               block=block if block is not None
+                               else self.current_block))
+        return out
+
+    def register(self, d, stage, block=None):
+        """Insert a pipeline flip-flop on net ``d``; returns the q net."""
+        self._require_driven(d)
+        q = self.new_net()
+        self._driver[q] = "register"
+        self.registers.append(Register(d=d, q=q, stage=stage,
+                                       block=block if block is not None
+                                       else self.current_block))
+        return q
+
+    def register_bus(self, bus, stage, block=None):
+        """Register every net of a bus; returns the q bus."""
+        return [self.register(net, stage, block=block) for net in bus]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def constants(self):
+        """Mapping net -> constant value (0/1)."""
+        return dict(self._const_nets)
+
+    def driver_kind(self, net):
+        """``"input"``, ``"gate"``, ``"register"`` or ``"const"``."""
+        try:
+            return self._driver[net]
+        except KeyError:
+            raise NetlistError(f"net {net} has no driver") from None
+
+    def fanout_map(self):
+        """net -> list of gate indices reading it (registers excluded)."""
+        fanout = {net: [] for net in range(self.n_nets)}
+        for idx, gate in enumerate(self.gates):
+            for net in gate.inputs:
+                fanout[net].append(idx)
+        return fanout
+
+    def load_map(self, library):
+        """net -> total driven input capacitance (for delay/energy)."""
+        load = [0.0] * self.n_nets
+        for gate in self.gates:
+            cap = library.spec(gate.kind).input_cap
+            for net in gate.inputs:
+                load[net] += cap
+        reg_cap = library.register.input_cap
+        for reg in self.registers:
+            load[reg.d] += reg_cap
+        for bus in self.outputs.values():
+            for net in bus:
+                load[net] += library.output_load
+        return load
+
+    def stage_count(self):
+        """Number of pipeline stages (register stages + 1)."""
+        if not self.registers:
+            return 1
+        return max(reg.stage for reg in self.registers) + 1
+
+    def block_of_net(self):
+        """net -> block tag of its driver (inputs/consts map to '')."""
+        owner = [""] * self.n_nets
+        for gate in self.gates:
+            owner[gate.output] = gate.block
+        for reg in self.registers:
+            owner[reg.q] = reg.block
+        return owner
+
+    def stats(self):
+        """Cheap structural summary used by reports and tests."""
+        kinds = {}
+        for gate in self.gates:
+            kinds[gate.kind] = kinds.get(gate.kind, 0) + 1
+        return {
+            "nets": self.n_nets,
+            "gates": len(self.gates),
+            "registers": len(self.registers),
+            "inputs": sum(len(b) for b in self.inputs.values()),
+            "outputs": sum(len(b) for b in self.outputs.values()),
+            "kinds": kinds,
+        }
+
+    def _require_driven(self, net):
+        if not isinstance(net, int):
+            raise NetlistError(f"net ids are ints, got {net!r}")
+        if net not in self._driver:
+            raise NetlistError(f"net {net} used before being driven")
+
+    def __repr__(self):
+        return (f"Module({self.name!r}, nets={self.n_nets}, "
+                f"gates={len(self.gates)}, regs={len(self.registers)})")

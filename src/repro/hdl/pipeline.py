@@ -1,0 +1,127 @@
+"""Pipeline structure analysis.
+
+Registers are inserted by the circuit generators at explicit cut points
+(the paper places them by hand too — Sec. III-D discusses the tried
+placements).  This module derives which stage every gate ends up in and
+checks the placement is *consistent*: a gate must combine values of a
+single stage, i.e. every input must have crossed the same number of
+register banks.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import PipelineError
+
+
+@dataclass
+class PipelineReport:
+    """Gates and area-relevant counts per pipeline stage."""
+
+    n_stages: int
+    gates_per_stage: Dict[int, int]
+    registers_per_cut: Dict[int, int]
+
+    def stage_share(self, stage):
+        total = sum(self.gates_per_stage.values())
+        if total == 0:
+            return 0.0
+        return self.gates_per_stage.get(stage, 0) / total
+
+
+def stage_map(module, strict=True):
+    """Assign every gate to a pipeline stage.
+
+    Returns ``(gate_stages, net_stages)``.  ``strict`` raises on gates
+    whose inputs come from different stages (an unbalanced pipeline cut
+    that real hardware would need synchronizing registers for).
+    Constants are stage-agnostic.
+    """
+    net_stage = [0] * module.n_nets      # 0 = undetermined/constant
+    for bus in module.inputs.values():
+        for net in bus:
+            net_stage[net] = 1
+    reg_stage_of_q = {}
+    for reg in module.registers:
+        reg_stage_of_q[reg.q] = reg.stage + 1
+
+    order = _topo_nodes(module)
+    gate_stages = [0] * len(module.gates)
+    for node in order:
+        if node >= 0:
+            gate = module.gates[node]
+            stages = set()
+            for net in gate.inputs:
+                if net_stage[net]:
+                    stages.add(net_stage[net])
+            if not stages:
+                stage = 1            # constant-only cone
+            elif len(stages) == 1:
+                stage = stages.pop()
+            elif strict:
+                raise PipelineError(
+                    f"gate {node} ({gate.kind} in {gate.block!r}) mixes "
+                    f"stages {sorted(stages)}"
+                )
+            else:
+                stage = max(stages)
+            gate_stages[node] = stage
+            net_stage[gate.output] = stage
+        else:
+            reg = module.registers[-node - 1]
+            d_stage = net_stage[reg.d] or reg.stage
+            if strict and d_stage != reg.stage:
+                raise PipelineError(
+                    f"register at stage {reg.stage} latches a stage-{d_stage} net"
+                )
+            net_stage[reg.q] = reg.stage + 1
+    return gate_stages, net_stage
+
+
+def pipeline_report(module, strict=True):
+    """Summarize the pipeline structure of a module."""
+    gate_stages, __ = stage_map(module, strict=strict)
+    gates_per_stage: Dict[int, int] = {}
+    for stage in gate_stages:
+        gates_per_stage[stage] = gates_per_stage.get(stage, 0) + 1
+    regs_per_cut: Dict[int, int] = {}
+    for reg in module.registers:
+        regs_per_cut[reg.stage] = regs_per_cut.get(reg.stage, 0) + 1
+    return PipelineReport(
+        n_stages=module.stage_count(),
+        gates_per_stage=gates_per_stage,
+        registers_per_cut=regs_per_cut,
+    )
+
+
+def _topo_nodes(module):
+    producers = {}
+    node_inputs = []
+    node_ids = []
+    for idx, gate in enumerate(module.gates):
+        producers[gate.output] = len(node_ids)
+        node_inputs.append(gate.inputs)
+        node_ids.append(idx)
+    for ridx, reg in enumerate(module.registers):
+        producers[reg.q] = len(node_ids)
+        node_inputs.append((reg.d,))
+        node_ids.append(-1 - ridx)
+    indegree = [0] * len(node_ids)
+    consumers = [[] for _ in range(len(node_ids))]
+    for node, nets in enumerate(node_inputs):
+        for net in nets:
+            if net in producers:
+                indegree[node] += 1
+                consumers[producers[net]].append(node)
+    ready = [i for i, d in enumerate(indegree) if d == 0]
+    order = []
+    while ready:
+        node = ready.pop()
+        order.append(node_ids[node])
+        for consumer in consumers[node]:
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    if len(order) != len(node_ids):
+        raise PipelineError("netlist has a combinational cycle")
+    return order

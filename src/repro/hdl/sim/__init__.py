@@ -1,0 +1,20 @@
+"""Netlist simulators.
+
+* :mod:`repro.hdl.sim.levelized` — zero-delay, **bit-parallel** over
+  patterns: functional verification and zero-delay switching activity.
+  Registers are modeled as one-cycle time shifts of the pattern axis,
+  which is exact for the feed-forward pipelines used here.
+* :mod:`repro.hdl.sim.event` — event-driven with per-gate load-dependent
+  delays: counts *all* transitions including glitches, the quantity the
+  paper's combinational-vs-pipelined power comparison hinges on.
+"""
+
+from repro.hdl.sim.event import EventSimulator, TransitionCounts
+from repro.hdl.sim.levelized import LevelizedSimulator, SimRun
+
+__all__ = [
+    "EventSimulator",
+    "LevelizedSimulator",
+    "SimRun",
+    "TransitionCounts",
+]

@@ -1,0 +1,17 @@
+"""Static timing analysis over structural netlists."""
+
+from repro.hdl.timing.sta import (
+    PathSegment,
+    StageTiming,
+    TimingReport,
+    analyze,
+    critical_path_breakdown,
+)
+
+__all__ = [
+    "PathSegment",
+    "StageTiming",
+    "TimingReport",
+    "analyze",
+    "critical_path_breakdown",
+]

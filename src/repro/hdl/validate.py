@@ -1,0 +1,87 @@
+"""Netlist sanity checks.
+
+Run :func:`validate` on every generated circuit before simulating it;
+the generators in :mod:`repro.circuits` are tested to produce clean
+netlists, and the checks here catch generator bugs (dangling nets,
+combinational cycles, double drivers) at build time instead of as
+mysterious simulation results.
+"""
+
+from repro.errors import NetlistError
+
+
+def validate(module):
+    """Raise :class:`NetlistError` on any structural problem.
+
+    Checks: every net driven exactly once; no combinational cycles
+    (registers break cycles only in real feedback designs — the units
+    here are feed-forward, so we require full acyclicity including the
+    d->q pseudo-edges); all output/register nets resolvable.
+    """
+    _check_single_drivers(module)
+    _check_acyclic(module)
+    return module
+
+
+def _check_single_drivers(module):
+    driven = {}
+    for idx, gate in enumerate(module.gates):
+        if gate.output in driven:
+            raise NetlistError(
+                f"net {gate.output} driven by gates {driven[gate.output]} and {idx}"
+            )
+        driven[gate.output] = idx
+    for reg in module.registers:
+        if reg.q in driven:
+            raise NetlistError(f"register q net {reg.q} also driven by a gate")
+        driven[reg.q] = f"reg:{reg.q}"
+    for name, bus in module.inputs.items():
+        for net in bus:
+            if net in driven:
+                raise NetlistError(f"input {name} net {net} also driven")
+            driven[net] = f"input:{name}"
+    for net in module.constants:
+        if net in driven:
+            raise NetlistError(f"constant net {net} also driven")
+        driven[net] = "const"
+    for net in range(module.n_nets):
+        if net not in driven:
+            raise NetlistError(f"net {net} has no driver")
+
+
+def _check_acyclic(module):
+    # Kahn's algorithm over gate+register nodes.
+    n = module.n_nets
+    producers = {}          # net -> node id
+    node_inputs = []        # node id -> list of nets
+    for idx, gate in enumerate(module.gates):
+        producers[gate.output] = idx
+        node_inputs.append(list(gate.inputs))
+    reg_base = len(module.gates)
+    for ridx, reg in enumerate(module.registers):
+        producers[reg.q] = reg_base + ridx
+        node_inputs.append([reg.d])
+
+    indegree = [0] * len(node_inputs)
+    consumers = {}
+    for node, nets in enumerate(node_inputs):
+        for net in nets:
+            if net in producers:
+                indegree[node] += 1
+                consumers.setdefault(net, []).append(node)
+
+    ready = [node for node, deg in enumerate(indegree) if deg == 0]
+    seen = 0
+    while ready:
+        node = ready.pop()
+        seen += 1
+        out_net = (module.gates[node].output if node < reg_base
+                   else module.registers[node - reg_base].q)
+        for consumer in consumers.get(out_net, ()):
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    if seen != len(node_inputs):
+        raise NetlistError(
+            f"combinational cycle: {len(node_inputs) - seen} nodes unresolved"
+        )

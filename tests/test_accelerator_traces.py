@@ -1,0 +1,138 @@
+"""Tests for the accelerator model and the named workload traces."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.accelerator import Accelerator
+from repro.core.vector_unit import FormatPowerTable, VectorMultiplier
+from repro.errors import FormatError
+from repro.eval.traces import TRACES, generate_trace, reducibility
+
+
+class TestTraces:
+    def test_deterministic(self):
+        assert generate_trace("dsp_fir", 20, seed=1) \
+            == generate_trace("dsp_fir", 20, seed=1)
+        assert generate_trace("dsp_fir", 20, seed=1) \
+            != generate_trace("dsp_fir", 20, seed=2)
+
+    def test_unknown_trace(self):
+        with pytest.raises(FormatError):
+            generate_trace("crypto", 10)
+
+    def test_reducibility_spectrum(self):
+        """The families span low to high reducibility — the spread that
+        makes the Sec. IV study meaningful."""
+        rates = {name: reducibility(generate_trace(name, 300))
+                 for name in TRACES}
+        assert rates["scientific"] < 0.02
+        assert 0.1 < rates["finance"] < 0.45
+        assert 0.35 < rates["graphics"] < 0.75
+        assert 0.5 < rates["ml_inference"] < 0.9
+        assert rates["dsp_fir"] > 0.65
+
+    def test_empty_reducibility(self):
+        assert reducibility([]) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_traces_run_through_the_machine(self, name):
+        pairs = generate_trace(name, 60)
+        result = VectorMultiplier().run(pairs)
+        assert len(result.products64) == 60
+
+
+class TestAcceleratorElementwise:
+    def test_exact_on_dyadic_data(self):
+        acc = Accelerator(lanes=2)
+        xs = [1.5, 2.0, -0.25, 8.0]
+        ys = [2.0, 0.5, 4.0, -1.5]
+        report = acc.elementwise_multiply(xs, ys)
+        assert report.results == [a * b for a, b in zip(xs, ys)]
+        # All dyadic pairs demote and pair up.
+        assert report.stats.demoted_operations == 4
+        assert report.stats.fp32_dual_cycles == 2
+
+    def test_mixed_data_accuracy(self):
+        rng = random.Random(3)
+        acc = Accelerator(lanes=4)
+        xs = [rng.uniform(0.1, 100) for __ in range(30)]
+        ys = [float(rng.randint(1, 1000)) for __ in range(30)]
+        report = acc.elementwise_multiply(xs, ys)
+        for got, a, b in zip(report.results, xs, ys):
+            assert got != 0
+            assert abs(got - a * b) <= abs(a * b) * 2.0 ** -23
+
+    def test_no_reduction_baseline(self):
+        acc = Accelerator(lanes=2, use_reduction=False)
+        report = acc.elementwise_multiply([1.5, 2.5], [2.0, 4.0])
+        assert report.stats.fp64_cycles == 2
+        assert report.stats.demoted_operations == 0
+
+    def test_wall_cycles_scale_with_lanes(self):
+        xs = [1.5] * 16
+        ys = [2.0] * 16
+        one_lane = Accelerator(lanes=1).elementwise_multiply(xs, ys)
+        four_lanes = Accelerator(lanes=4).elementwise_multiply(xs, ys)
+        assert one_lane.lane_cycles == four_lanes.lane_cycles
+        assert four_lanes.wall_cycles * 4 >= four_lanes.lane_cycles
+        assert four_lanes.wall_cycles < one_lane.wall_cycles
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError):
+            Accelerator().elementwise_multiply([1.0], [1.0, 2.0])
+
+    def test_lanes_validated(self):
+        with pytest.raises(FormatError):
+            Accelerator(lanes=0)
+
+
+class TestAcceleratorKernels:
+    def test_dot_product(self):
+        acc = Accelerator(lanes=2)
+        value, report = acc.dot([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert value == 32.0
+        assert report.stats.total_operations == 3
+
+    def test_gemm_small_exact(self):
+        acc = Accelerator(lanes=4)
+        a = [[1.0, 2.0], [3.0, 4.0]]
+        b = [[5.0, 6.0], [7.0, 8.0]]
+        c, report = acc.gemm(a, b)
+        assert c == [[19.0, 22.0], [43.0, 50.0]]
+        assert report.stats.total_operations == 8
+
+    def test_gemm_energy_savings_on_quantized_weights(self):
+        rng = random.Random(4)
+        n = 6
+        a = [[rng.randint(-127, 127) / 128.0 or 0.5 for __ in range(n)]
+             for __ in range(n)]
+        b = [[float(rng.randint(1, 100)) for __ in range(n)]
+             for __ in range(n)]
+        acc = Accelerator(lanes=8)
+        c, report = acc.gemm(a, b)
+        energy = acc.compare_energy(report)
+        assert energy["savings"] > 0.4
+        # Reference result within binary32 accuracy.
+        for i in range(n):
+            for j in range(n):
+                expect = sum(a[i][k] * b[k][j] for k in range(n))
+                assert abs(c[i][j] - expect) <= abs(expect) * n * 2.0 ** -22
+
+    def test_gemm_shape_validation(self):
+        acc = Accelerator()
+        with pytest.raises(FormatError):
+            acc.gemm([[1.0], [2.0, 3.0]], [[1.0]])
+        with pytest.raises(FormatError):
+            acc.gemm([[1.0, 2.0]], [[1.0]])
+
+    def test_power_table_injection(self):
+        table = FormatPowerTable(fp64=10.0, fp32_dual=5.0)
+        acc = Accelerator(lanes=1, power_table=table)
+        report = acc.elementwise_multiply([1.5, 2.5], [2.0, 4.0])
+        energy = acc.compare_energy(report)
+        # Two demoted ops in one dual cycle: 50 pJ vs 200 pJ baseline.
+        assert energy["energy_pj"] == pytest.approx(50.0)
+        assert energy["baseline_pj"] == pytest.approx(200.0)
+        assert energy["savings"] == pytest.approx(0.75)

@@ -1,0 +1,104 @@
+"""Tests for the reference adders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.adders_ref import (
+    brent_kung_carries,
+    carry_select_add,
+    kogge_stone_carries,
+    lane_split_add,
+    ripple_add,
+)
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+WIDTHS = st.integers(min_value=1, max_value=96)
+
+
+@st.composite
+def operand_pair(draw):
+    width = draw(WIDTHS)
+    a = draw(st.integers(min_value=0, max_value=mask(width)))
+    b = draw(st.integers(min_value=0, max_value=mask(width)))
+    cin = draw(st.integers(min_value=0, max_value=1))
+    return a, b, width, cin
+
+
+class TestRippleAdd:
+    @given(operand_pair())
+    def test_matches_python(self, case):
+        a, b, width, cin = case
+        total, cout, carries = ripple_add(a, b, width, cin)
+        expect = a + b + cin
+        assert total == expect & mask(width)
+        assert cout == expect >> width
+        assert len(carries) == width + 1
+        assert carries[0] == cin
+        assert carries[-1] == cout
+
+    def test_width_checked(self):
+        with pytest.raises(BitWidthError):
+            ripple_add(4, 0, 2)
+
+
+class TestPrefixAdders:
+    @given(operand_pair())
+    def test_kogge_stone(self, case):
+        a, b, width, cin = case
+        total, cout, carries = kogge_stone_carries(a, b, width, cin)
+        expect = a + b + cin
+        assert total == expect & mask(width)
+        assert cout == expect >> width
+
+    @given(operand_pair())
+    def test_brent_kung(self, case):
+        a, b, width, cin = case
+        total, cout, carries = brent_kung_carries(a, b, width, cin)
+        expect = a + b + cin
+        assert total == expect & mask(width)
+        assert cout == expect >> width
+
+    @given(operand_pair())
+    @settings(max_examples=60)
+    def test_carry_vectors_agree(self, case):
+        """All three adders must compute identical internal carries."""
+        a, b, width, cin = case
+        __, __, ripple = ripple_add(a, b, width, cin)
+        __, __, ks = kogge_stone_carries(a, b, width, cin)
+        __, __, bk = brent_kung_carries(a, b, width, cin)
+        assert ripple == ks == bk
+
+
+class TestCarrySelect:
+    @given(operand_pair(), st.integers(min_value=1, max_value=16))
+    def test_matches_python(self, case, block):
+        a, b, width, cin = case
+        total, cout = carry_select_add(a, b, width, block=block,
+                                       carry_in=cin)
+        expect = a + b + cin
+        assert total == expect & mask(width)
+        assert cout == expect >> width
+
+
+class TestLaneSplitAdd:
+    @given(st.integers(min_value=0, max_value=mask(128)),
+           st.integers(min_value=0, max_value=mask(128)))
+    def test_unsplit_is_plain_add(self, a, b):
+        total, cout = lane_split_add(a, b, 128, 64, split=False)
+        assert total == (a + b) & mask(128)
+        assert cout == (a + b) >> 128
+
+    @given(st.integers(min_value=0, max_value=mask(128)),
+           st.integers(min_value=0, max_value=mask(128)))
+    def test_split_isolates_lanes(self, a, b):
+        total, __ = lane_split_add(a, b, 128, 64, split=True)
+        lo = ((a & mask(64)) + (b & mask(64))) & mask(64)
+        hi = (((a >> 64) & mask(64)) + ((b >> 64) & mask(64))) & mask(64)
+        assert total == lo | (hi << 64)
+
+    def test_boundary_checked(self):
+        with pytest.raises(BitWidthError):
+            lane_split_add(0, 0, 8, 8, split=True)
+        with pytest.raises(BitWidthError):
+            lane_split_add(0, 0, 8, 0, split=True)

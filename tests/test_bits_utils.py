@@ -1,0 +1,112 @@
+"""Tests for repro.bits.utils."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.utils import (
+    bit,
+    bit_length,
+    bits_of,
+    from_twos_complement,
+    mask,
+    ones_count,
+    to_twos_complement,
+)
+from repro.errors import BitWidthError
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(BitWidthError):
+            mask(-1)
+
+
+class TestBit:
+    def test_lsb(self):
+        assert bit(0b10, 0) == 0
+        assert bit(0b10, 1) == 1
+
+    def test_beyond_value(self):
+        assert bit(1, 63) == 0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(BitWidthError):
+            bit(1, -1)
+
+
+class TestBitsOf:
+    def test_lsb_first(self):
+        assert bits_of(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_width_checked(self):
+        with pytest.raises(BitWidthError):
+            bits_of(16, 4)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip(self, value):
+        bits = bits_of(value, 64)
+        assert sum(b << i for i, b in enumerate(bits)) == value
+
+
+class TestBitLength:
+    def test_zero_is_one(self):
+        assert bit_length(0) == 1
+
+    def test_matches_int(self):
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitWidthError):
+            bit_length(-1)
+
+
+class TestOnesCount:
+    def test_zero(self):
+        assert ones_count(0) == 0
+
+    def test_all_ones(self):
+        assert ones_count(mask(17)) == 17
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_matches_bin(self, value):
+        assert ones_count(value) == bin(value).count("1")
+
+
+class TestTwosComplement:
+    def test_positive(self):
+        assert to_twos_complement(5, 8) == 5
+
+    def test_negative(self):
+        assert to_twos_complement(-1, 8) == 0xFF
+        assert to_twos_complement(-128, 8) == 0x80
+
+    def test_bounds(self):
+        with pytest.raises(BitWidthError):
+            to_twos_complement(128, 8)
+        with pytest.raises(BitWidthError):
+            to_twos_complement(-129, 8)
+
+    def test_decode(self):
+        assert from_twos_complement(0xFF, 8) == -1
+        assert from_twos_complement(0x80, 8) == -128
+        assert from_twos_complement(0x7F, 8) == 127
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip(self, value):
+        assert from_twos_complement(to_twos_complement(value, 64), 64) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_encode_is_mod(self, pattern, width):
+        pattern &= mask(width)
+        signed = from_twos_complement(pattern, width)
+        assert signed % (1 << width) == pattern

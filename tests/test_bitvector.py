@@ -1,0 +1,122 @@
+"""Tests for repro.bits.bitvector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvector import BitVector
+from repro.errors import BitWidthError
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = BitVector(0xAB, 8)
+        assert v.value == 0xAB
+        assert v.width == 8
+        assert len(v) == 8
+        assert int(v) == 0xAB
+
+    def test_value_must_fit(self):
+        with pytest.raises(BitWidthError):
+            BitVector(256, 8)
+        with pytest.raises(BitWidthError):
+            BitVector(-1, 8)
+
+    def test_width_positive(self):
+        with pytest.raises(BitWidthError):
+            BitVector(0, 0)
+
+    def test_signed(self):
+        assert BitVector.signed(-1, 8).value == 0xFF
+        assert BitVector.signed(-8, 4).value == 0x8
+        with pytest.raises(BitWidthError):
+            BitVector.signed(8, 4)
+
+    def test_signed_value(self):
+        assert BitVector(0xFF, 8).signed_value == -1
+        assert BitVector(0x7F, 8).signed_value == 127
+
+    def test_from_bits(self):
+        assert BitVector.from_bits([1, 0, 1]).value == 0b101
+        with pytest.raises(BitWidthError):
+            BitVector.from_bits([])
+        with pytest.raises(BitWidthError):
+            BitVector.from_bits([2])
+
+
+class TestIndexing:
+    def test_single_bit(self):
+        v = BitVector(0b1010, 4)
+        assert v[0] == 0
+        assert v[1] == 1
+        with pytest.raises(BitWidthError):
+            v[4]
+
+    def test_slice_both_orders(self):
+        v = BitVector(0xABCD, 16)
+        assert v[11:4] == v[4:11]
+        assert v[4:11].width == 8
+        assert v[4:11].value == (0xABCD >> 4) & 0xFF
+
+    def test_slice_bounds(self):
+        v = BitVector(0, 8)
+        with pytest.raises(BitWidthError):
+            v[0:8]
+        with pytest.raises(BitWidthError):
+            v[0:4:2]
+
+
+class TestOps:
+    def test_concat_msb_first(self):
+        # {a, b}: a holds the MSBs.
+        a = BitVector(0b1, 1)
+        b = BitVector(0b00, 2)
+        assert a.concat(b).value == 0b100
+        assert a.concat(b).width == 3
+
+    def test_extend_truncate(self):
+        v = BitVector(0x8F, 8)
+        assert v.zero_extend(12).value == 0x08F
+        assert v.sign_extend(12).value == 0xF8F
+        assert v.truncate(4).value == 0xF
+        with pytest.raises(BitWidthError):
+            v.truncate(9)
+        with pytest.raises(BitWidthError):
+            v.zero_extend(4)
+
+    def test_bitwise(self):
+        a = BitVector(0b1100, 4)
+        b = BitVector(0b1010, 4)
+        assert (a & b).value == 0b1000
+        assert (a | b).value == 0b1110
+        assert (a ^ b).value == 0b0110
+        assert (~a).value == 0b0011
+
+    def test_width_mismatch(self):
+        with pytest.raises(BitWidthError):
+            BitVector(1, 4) & BitVector(1, 5)
+
+    def test_shifts_bounded(self):
+        v = BitVector(0b1001, 4)
+        assert (v << 1).value == 0b0010
+        assert (v >> 1).value == 0b0100
+        assert (v << 0) == v
+
+    def test_add_modular(self):
+        assert (BitVector(0xF, 4) + 1).value == 0
+        assert (BitVector(3, 4) + BitVector(4, 4)).value == 7
+
+    def test_equality(self):
+        assert BitVector(5, 4) == BitVector(5, 4)
+        assert BitVector(5, 4) != BitVector(5, 5)
+        assert BitVector(5, 4) == 5
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_bits_roundtrip(self, value):
+        v = BitVector(value, 32)
+        assert BitVector.from_bits(v.bits()) == v
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1),
+           st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_add_matches_python(self, a, b):
+        va = BitVector(a, 20)
+        assert (va + b).value == (a + b) % (1 << 20)

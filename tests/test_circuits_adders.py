@@ -1,0 +1,142 @@
+"""Tests for the structural adders (co-simulated against references)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.utils import mask
+from repro.circuits.adders import (
+    adder_styles,
+    brent_kung_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    lane_split_adder,
+    make_adder,
+    ripple_adder,
+)
+from repro.circuits.primitives import GateBuilder
+from repro.errors import NetlistError
+from repro.hdl.module import Module
+from repro.hdl.sim.levelized import LevelizedSimulator
+from repro.hdl.timing.sta import analyze
+from repro.hdl.library import default_library
+from repro.hdl.validate import validate
+
+
+def _build_adder(style, width, with_cin=False):
+    m = Module(f"add_{style}_{width}")
+    gb = GateBuilder(m)
+    a = m.input("a", width)
+    b = m.input("b", width)
+    cin = m.input("cin", 1)[0] if with_cin else None
+    total, cout = make_adder(style)(gb, a, b, carry_in=cin)
+    m.output("s", total)
+    m.output("co", [cout])
+    return validate(m)
+
+
+def _run_cases(module, cases, with_cin=False):
+    stim = {"a": [c[0] for c in cases], "b": [c[1] for c in cases]}
+    if with_cin:
+        stim["cin"] = [c[2] for c in cases]
+    sim = LevelizedSimulator(module)
+    return sim.run(stim, len(cases))
+
+
+STYLES = ["ripple", "kogge_stone", "brent_kung", "carry_select"]
+
+
+class TestAdderStyles:
+    @pytest.mark.parametrize("style", STYLES)
+    @pytest.mark.parametrize("width", [1, 7, 16, 64])
+    def test_exhaustive_small_random_large(self, style, width):
+        import random
+        rng = random.Random(width)
+        if width <= 4:
+            cases = [(a, b) for a in range(1 << width)
+                     for b in range(1 << width)]
+        else:
+            cases = [(rng.getrandbits(width), rng.getrandbits(width))
+                     for __ in range(40)]
+            cases += [(0, 0), (mask(width), mask(width)), (mask(width), 1)]
+        module = _build_adder(style, width)
+        run = _run_cases(module, cases)
+        for t, (a, b) in enumerate(cases):
+            got = run.bus_word(module.outputs["s"], t)
+            co = run.bus_word(module.outputs["co"], t)
+            assert got == (a + b) & mask(width), (style, a, b)
+            assert co == (a + b) >> width
+
+    @pytest.mark.parametrize("style", STYLES)
+    def test_carry_in(self, style):
+        import random
+        rng = random.Random(99)
+        cases = [(rng.getrandbits(16), rng.getrandbits(16),
+                  rng.getrandbits(1)) for __ in range(30)]
+        module = _build_adder(style, 16, with_cin=True)
+        run = _run_cases(module, cases, with_cin=True)
+        for t, (a, b, c) in enumerate(cases):
+            got = run.bus_word(module.outputs["s"], t)
+            assert got == (a + b + c) & mask(16)
+
+    def test_unknown_style(self):
+        with pytest.raises(NetlistError):
+            make_adder("magic")
+        assert set(STYLES) == set(adder_styles())
+
+    def test_width_mismatch(self):
+        m = Module("bad")
+        gb = GateBuilder(m)
+        a = m.input("a", 4)
+        b = m.input("b", 5)
+        with pytest.raises(NetlistError):
+            ripple_adder(gb, a, b)
+
+    def test_kogge_stone_faster_than_ripple(self):
+        lib = default_library()
+        ks = analyze(_build_adder("kogge_stone", 64), lib).latency_ps
+        rp = analyze(_build_adder("ripple", 64), lib).latency_ps
+        assert ks < rp / 3
+
+    def test_brent_kung_smaller_than_kogge_stone(self):
+        ks = _build_adder("kogge_stone", 64)
+        bk = _build_adder("brent_kung", 64)
+        assert len(bk.gates) < len(ks.gates)
+
+
+class TestLaneSplitAdder:
+    def _build(self, width=32, boundary=16):
+        m = Module("lane")
+        gb = GateBuilder(m)
+        a = m.input("a", width)
+        b = m.input("b", width)
+        split = m.input("split", 1)
+        total, cout = lane_split_adder(gb, a, b, split[0],
+                                       boundary=boundary)
+        m.output("s", total)
+        m.output("co", [cout])
+        return validate(m)
+
+    @given(st.integers(min_value=0, max_value=mask(32)),
+           st.integers(min_value=0, max_value=mask(32)),
+           st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40, deadline=None)
+    def test_both_modes(self, a, b, split):
+        module = self._build()
+        run = LevelizedSimulator(module).run(
+            {"a": [a], "b": [b], "split": [split]}, 1)
+        got = run.bus_word(module.outputs["s"], 0)
+        if split:
+            lo = ((a & mask(16)) + (b & mask(16))) & mask(16)
+            hi = (((a >> 16) + (b >> 16)) & mask(16)) << 16
+            assert got == lo | hi
+        else:
+            assert got == (a + b) & mask(32)
+
+    def test_boundary_validated(self):
+        m = Module("bad")
+        gb = GateBuilder(m)
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        s = m.input("split", 1)
+        with pytest.raises(NetlistError):
+            lane_split_adder(gb, a, b, s[0], boundary=8)

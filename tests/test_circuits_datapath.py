@@ -1,0 +1,269 @@
+"""Tests for recoder, multiples, PPGEN and compressor-tree circuits."""
+
+import random
+
+import pytest
+
+from repro.arith.partial_products import build_dual_lane_pp_array, build_pp_array
+from repro.arith.recoding import recode_minimally_redundant
+from repro.bits.utils import mask
+from repro.circuits.compressor_tree import build_compressor_tree
+from repro.circuits.multiples import build_multiples
+from repro.circuits.ppgen import (
+    build_mf_pp_columns,
+    build_plain_pp_columns,
+    reference_corrections,
+)
+from repro.circuits.primitives import GateBuilder
+from repro.circuits.recoder import build_recoder
+from repro.errors import NetlistError
+from repro.hdl.module import Module
+from repro.hdl.sim.levelized import LevelizedSimulator
+from repro.hdl.validate import validate
+
+
+class TestRecoderCircuit:
+    @pytest.mark.parametrize("k,width", [(2, 8), (3, 9), (4, 8), (4, 16)])
+    def test_exhaustive_small_widths(self, k, width):
+        m = Module("rec")
+        gb = GateBuilder(m)
+        y = m.input("y", width)
+        digits = build_recoder(gb, y, k)
+        sign_bus = [d.sign for d in digits]
+        mag_buses = [d.magnitude_onehot for d in digits]
+        m.output("signs", sign_bus)
+        for i, mags in enumerate(mag_buses):
+            m.output(f"mag{i}", mags)
+        validate(m)
+        n = 1 << width if width <= 10 else 512
+        values = (list(range(1 << width)) if width <= 10 else
+                  [random.Random(7).getrandbits(width) for __ in range(n)])
+        run = LevelizedSimulator(m).run({"y": values}, len(values))
+        for t, value in enumerate(values):
+            expect = recode_minimally_redundant(value, width, k)
+            for i, d in enumerate(expect):
+                sign = run.net_value(sign_bus[i], t)
+                onehot = [run.net_value(n_, t) if isinstance(n_, int) else 0
+                          for n_ in mag_buses[i]]
+                assert sum(onehot) == 1, (value, i)
+                assert onehot[abs(d)] == 1, (value, i, d)
+                if d != 0:
+                    assert sign == (1 if d < 0 else 0), (value, i, d)
+
+    def test_radix16_64bit_digit_count(self):
+        m = Module("rec64")
+        gb = GateBuilder(m)
+        y = m.input("y", 64)
+        digits = build_recoder(gb, y, 4)
+        assert len(digits) == 17
+        assert all(len(d.magnitude_onehot) == 9 for d in digits)
+
+
+class TestMultiplesCircuit:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_all_multiples(self, k):
+        m = Module("mult")
+        gb = GateBuilder(m)
+        x = m.input("x", 64)
+        multiples = build_multiples(gb, x, k)
+        for mm, bus in multiples.items():
+            m.output(f"m{mm}", bus)
+        validate(m)
+        rng = random.Random(k)
+        values = [rng.getrandbits(64) for __ in range(25)] + [0, mask(64)]
+        run = LevelizedSimulator(m).run({"x": values}, len(values))
+        for t, value in enumerate(values):
+            for mm in multiples:
+                got = run.bus_word(m.outputs[f"m{mm}"], t)
+                assert got == mm * value, (k, mm, hex(value))
+
+    def test_radix16_has_all_eight(self):
+        m = Module("m16")
+        gb = GateBuilder(m)
+        x = m.input("x", 64)
+        multiples = build_multiples(gb, x, 4)
+        assert sorted(multiples) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_rejects_radix2(self):
+        m = Module("bad")
+        gb = GateBuilder(m)
+        x = m.input("x", 8)
+        with pytest.raises(NetlistError):
+            build_multiples(gb, x, 1)
+
+
+def _columns_sum(run, gb, columns, t, boundaries=(), width=128,
+                 split_active=False):
+    """Weighted sum of simulated column bits with window isolation."""
+    kill = set(boundaries) | {width}
+    total = 0
+    acc = 0
+    base = 0
+    for col in range(width):
+        for net in columns[col]:
+            v = (gb.const_of(net)
+                 if gb.const_of(net) is not None else run.net_value(net, t))
+            acc += v << (col - base)
+        if col + 1 in kill and split_active:
+            total += (acc & mask(col + 1 - base)) << base
+            acc = 0
+            base = col + 1
+    if not split_active:
+        total = acc & mask(width)
+    elif base < width:
+        total += (acc & mask(width - base)) << base
+    return total
+
+
+class TestPlainPPColumns:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_column_sum_is_product(self, k):
+        m = Module("pp")
+        gb = GateBuilder(m)
+        x = m.input("x", 64)
+        y = m.input("y", 64)
+        multiples = build_multiples(gb, x, k)
+        digits = build_recoder(gb, y, k)
+        columns, row_nets = build_plain_pp_columns(gb, digits, multiples,
+                                                   64, k)
+        validate(m)
+        rng = random.Random(k + 10)
+        cases = [(rng.getrandbits(64), rng.getrandbits(64))
+                 for __ in range(15)]
+        cases += [(0, 0), (mask(64), mask(64)), (1, mask(64)), (mask(64), 1)]
+        run = LevelizedSimulator(m).run(
+            {"x": [c[0] for c in cases], "y": [c[1] for c in cases]},
+            len(cases))
+        for t, (xv, yv) in enumerate(cases):
+            got = _columns_sum(run, gb, columns, t)
+            assert got == (xv * yv) & mask(128), (k, hex(xv), hex(yv))
+
+    def test_corrections_come_from_reference(self):
+        ref = build_pp_array(0, 0, width=64, radix_log2=4,
+                             product_width=128).corrections
+        assert reference_corrections(64, 4) == ref
+
+
+class TestMFPPColumns:
+    def _build(self):
+        m = Module("mfpp")
+        gb = GateBuilder(m)
+        x = m.input("x", 64)
+        y = m.input("y", 64)
+        fp32 = m.input("fp32", 1)
+        multiples = build_multiples(gb, x, 4)
+        digits = build_recoder(gb, y, 4)
+        columns, __ = build_mf_pp_columns(gb, digits, multiples, fp32[0])
+        validate(m)
+        return m, gb, columns
+
+    def test_int_mode_matches_product(self):
+        m, gb, columns = self._build()
+        rng = random.Random(42)
+        cases = [(rng.getrandbits(64), rng.getrandbits(64))
+                 for __ in range(12)] + [(mask(64), mask(64)), (0, 0)]
+        run = LevelizedSimulator(m).run(
+            {"x": [c[0] for c in cases], "y": [c[1] for c in cases],
+             "fp32": [0] * len(cases)}, len(cases))
+        for t, (xv, yv) in enumerate(cases):
+            got = _columns_sum(run, gb, columns, t)
+            assert got == (xv * yv) & mask(128)
+
+    def test_fp32_mode_isolated_lanes(self):
+        m, gb, columns = self._build()
+        rng = random.Random(43)
+        cases = []
+        for __ in range(12):
+            x0, y0 = rng.getrandbits(24), rng.getrandbits(24)
+            x1, y1 = rng.getrandbits(24), rng.getrandbits(24)
+            cases.append((x0, y0, x1, y1))
+        cases.append((mask(24), mask(24), mask(24), mask(24)))
+        cases.append((0, 0, mask(24), mask(24)))
+        run = LevelizedSimulator(m).run(
+            {"x": [c[0] | (c[2] << 32) for c in cases],
+             "y": [c[1] | (c[3] << 32) for c in cases],
+             "fp32": [1] * len(cases)}, len(cases))
+        for t, (x0, y0, x1, y1) in enumerate(cases):
+            got = _columns_sum(run, gb, columns, t, boundaries=(64,),
+                               split_active=True)
+            assert got == (x0 * y0) | ((x1 * y1) << 64), t
+
+    def test_requires_17_digits(self):
+        m = Module("bad")
+        gb = GateBuilder(m)
+        x = m.input("x", 8)
+        y = m.input("y", 8)
+        fp32 = m.input("fp32", 1)
+        multiples = build_multiples(gb, x, 4)
+        digits = build_recoder(gb, y, 4)    # only 3 digits
+        with pytest.raises(NetlistError):
+            build_mf_pp_columns(gb, digits, multiples, fp32[0])
+
+
+class TestCompressorTree:
+    @pytest.mark.parametrize("use_4_2", [False, True])
+    def test_reduces_mf_array_exactly(self, use_4_2):
+        m = Module("tree")
+        gb = GateBuilder(m)
+        x = m.input("x", 64)
+        y = m.input("y", 64)
+        multiples = build_multiples(gb, x, 4)
+        digits = build_recoder(gb, y, 4)
+        columns, __ = build_plain_pp_columns(gb, digits, multiples, 64, 4)
+        tree = build_compressor_tree(gb, columns, 128, use_4_2=use_4_2)
+        m.output("s", tree.sum_bus)
+        m.output("c", tree.carry_bus)
+        validate(m)
+        rng = random.Random(77)
+        cases = [(rng.getrandbits(64), rng.getrandbits(64))
+                 for __ in range(10)] + [(mask(64), mask(64))]
+        run = LevelizedSimulator(m).run(
+            {"x": [c[0] for c in cases], "y": [c[1] for c in cases]},
+            len(cases))
+        for t, (xv, yv) in enumerate(cases):
+            s = run.bus_word(m.outputs["s"], t)
+            c = run.bus_word(m.outputs["c"], t)
+            assert (s + c) & mask(128) == xv * yv, (use_4_2, t)
+
+    def test_split_control_gates_carry(self):
+        """One shared tree must serve both modes via the split net."""
+        m = Module("tree_mf")
+        gb = GateBuilder(m)
+        x = m.input("x", 64)
+        y = m.input("y", 64)
+        fp32 = m.input("fp32", 1)
+        multiples = build_multiples(gb, x, 4)
+        digits = build_recoder(gb, y, 4)
+        columns, __ = build_mf_pp_columns(gb, digits, multiples, fp32[0])
+        tree = build_compressor_tree(gb, columns, 128, split=fp32[0],
+                                     boundaries=(64,))
+        m.output("s", tree.sum_bus)
+        m.output("c", tree.carry_bus)
+        validate(m)
+        rng = random.Random(78)
+        # Interleave int64 and fp32 operations on the same netlist.
+        cases = []
+        for __ in range(6):
+            cases.append((rng.getrandbits(64), rng.getrandbits(64), 0))
+            x0, y0 = rng.getrandbits(24), rng.getrandbits(24)
+            x1, y1 = rng.getrandbits(24), rng.getrandbits(24)
+            cases.append((x0 | (x1 << 32), y0 | (y1 << 32), 1))
+        run = LevelizedSimulator(m).run(
+            {"x": [c[0] for c in cases], "y": [c[1] for c in cases],
+             "fp32": [c[2] for c in cases]}, len(cases))
+        for t, (xv, yv, split) in enumerate(cases):
+            s = run.bus_word(m.outputs["s"], t)
+            c = run.bus_word(m.outputs["c"], t)
+            if split:
+                lo = (s + c) & mask(64)
+                hi = ((s >> 64) + (c >> 64)) & mask(64)
+                assert lo == (xv & mask(24)) * (yv & mask(24))
+                assert hi == ((xv >> 32) & mask(24)) * ((yv >> 32) & mask(24))
+            else:
+                assert (s + c) & mask(128) == xv * yv
+
+    def test_column_count_checked(self):
+        m = Module("bad")
+        gb = GateBuilder(m)
+        with pytest.raises(NetlistError):
+            build_compressor_tree(gb, [[]], 2)

@@ -1,0 +1,88 @@
+"""Tests for the structural Fig. 6 reducer."""
+
+import random
+
+import pytest
+
+from repro.bits.ieee754 import BINARY64, encode
+from repro.bits.utils import mask
+from repro.core.reduction import reduce_binary64
+from repro.circuits.reducer import build_reducer
+from repro.hdl.area.model import area_report
+from repro.hdl.library import default_library
+from repro.hdl.sim.levelized import LevelizedSimulator
+
+
+@pytest.fixture(scope="module")
+def reducer():
+    module = build_reducer()
+    return module, LevelizedSimulator(module)
+
+
+def _run(reducer, cases):
+    module, sim = reducer
+    return module, sim.run({"d": cases}, len(cases))
+
+
+class TestReducerCircuit:
+    def test_matches_algorithm1_random(self, reducer):
+        rng = random.Random(3)
+        cases = [rng.getrandbits(64) for __ in range(300)]
+        module, run = _run(reducer, cases)
+        for t, d in enumerate(cases):
+            expect = reduce_binary64(d)
+            assert run.bus_word(module.outputs["reduced"], t) \
+                == (1 if expect.reduced else 0), hex(d)
+            out = run.bus_word(module.outputs["out"], t)
+            if expect.reduced:
+                assert out == expect.encoding32
+            else:
+                assert out == d
+
+    def test_matches_algorithm1_on_reducibles(self, reducer):
+        rng = random.Random(4)
+        cases = [BINARY64.pack(rng.getrandbits(1),
+                               rng.randint(897, 1150),
+                               rng.getrandbits(23) << 29)
+                 for __ in range(200)]
+        module, run = _run(reducer, cases)
+        for t, d in enumerate(cases):
+            expect = reduce_binary64(d)
+            assert run.bus_word(module.outputs["reduced"], t) == 1
+            assert run.bus_word(module.outputs["out"], t) \
+                == expect.encoding32
+
+    def test_exponent_boundaries(self, reducer):
+        cases = [BINARY64.pack(0, e, 0)
+                 for e in (0, 1, 895, 896, 897, 1023, 1150, 1151, 2046, 2047)]
+        module, run = _run(reducer, cases)
+        for t, d in enumerate(cases):
+            expect = reduce_binary64(d)
+            assert run.bus_word(module.outputs["reduced"], t) \
+                == (1 if expect.reduced else 0), hex(d)
+
+    def test_condition_bits_exposed(self, reducer):
+        cases = [encode(1.5, BINARY64), encode(0.1, BINARY64),
+                 encode(1e300, BINARY64), encode(1e-300, BINARY64)]
+        module, run = _run(reducer, cases)
+        for t, d in enumerate(cases):
+            expect = reduce_binary64(d)
+            assert run.bus_word(module.outputs["c1"], t) == expect.c1
+            assert run.bus_word(module.outputs["c2"], t) == expect.c2
+            assert run.bus_word(module.outputs["zero"], t) == expect.zero
+
+    def test_hardware_is_small(self, reducer):
+        """Sec. IV: 'the small hardware of Fig. 6' — a few hundred gates
+        at most, orders of magnitude below the multiplier."""
+        module, __ = reducer
+        lib = default_library()
+        area = area_report(module, lib)
+        assert len(module.gates) < 400
+        assert area.total_nand2_eq < 500
+
+    def test_sign_transferred(self, reducer):
+        pos = encode(1.5, BINARY64)
+        neg = encode(-1.5, BINARY64)
+        module, run = _run(reducer, [pos, neg])
+        assert run.bus_word(module.outputs["out"], 0) >> 31 == 0
+        assert (run.bus_word(module.outputs["out"], 1) >> 31) & 1 == 1

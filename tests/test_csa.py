@@ -1,0 +1,69 @@
+"""Tests for the carry-save primitives."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.csa import (
+    compress_3_2,
+    compress_4_2,
+    compress_words_4_2,
+    full_adder,
+    half_adder,
+)
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+BIT = st.integers(min_value=0, max_value=1)
+
+
+class TestBitCells:
+    def test_half_adder_exhaustive(self):
+        for a, b in itertools.product((0, 1), repeat=2):
+            s, c = half_adder(a, b)
+            assert s + 2 * c == a + b
+
+    def test_full_adder_exhaustive(self):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            s, carry = full_adder(a, b, c)
+            assert s + 2 * carry == a + b + c
+
+    def test_4_2_exhaustive(self):
+        for a, b, c, d, cin in itertools.product((0, 1), repeat=5):
+            s, carry, cout = compress_4_2(a, b, c, d, cin)
+            assert s + 2 * carry + 2 * cout == a + b + c + d + cin
+
+    def test_4_2_cout_independent_of_cin(self):
+        """No horizontal ripple: cout depends only on a, b, c."""
+        for a, b, c, d in itertools.product((0, 1), repeat=4):
+            __, __, cout0 = compress_4_2(a, b, c, d, 0)
+            __, __, cout1 = compress_4_2(a, b, c, d, 1)
+            assert cout0 == cout1
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(BitWidthError):
+            full_adder(2, 0, 0)
+        with pytest.raises(BitWidthError):
+            half_adder(0, -1)
+
+
+class TestWordCells:
+    @given(st.integers(min_value=0, max_value=mask(64)),
+           st.integers(min_value=0, max_value=mask(64)),
+           st.integers(min_value=0, max_value=mask(64)))
+    def test_3_2_invariant(self, a, b, c):
+        s, carry = compress_3_2(a, b, c, 64)
+        assert s + carry == a + b + c
+
+    @given(st.integers(min_value=0, max_value=mask(32)),
+           st.integers(min_value=0, max_value=mask(32)),
+           st.integers(min_value=0, max_value=mask(32)),
+           st.integers(min_value=0, max_value=mask(32)))
+    def test_4_2_invariant(self, a, b, c, d):
+        s, carry = compress_words_4_2(a, b, c, d, 32)
+        assert s + carry == a + b + c + d
+
+    def test_width_checked(self):
+        with pytest.raises(BitWidthError):
+            compress_3_2(1 << 8, 0, 0, 8)

@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example must run clean.
+
+The examples double as integration tests of the public API; each one
+asserts its own correctness conditions internally, so a zero exit code
+is meaningful.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+def test_example_inventory():
+    """The deliverable set: quickstart plus domain scenarios."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+@pytest.mark.slow
+def test_example_runs(name, tmp_path):
+    args = [sys.executable, os.path.join(EXAMPLES_DIR, name)]
+    if name == "export_and_waveforms.py":
+        args.append(str(tmp_path / "out"))
+    if name == "design_space_explorer.py":
+        pass  # default (no --power) keeps it fast
+    result = subprocess.run(args, capture_output=True, text=True,
+                            timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

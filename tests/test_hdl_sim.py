@@ -1,0 +1,199 @@
+"""Tests for the levelized and event-driven simulators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hdl.library import default_library
+from repro.hdl.module import Module
+from repro.hdl.sim.event import EventSimulator
+from repro.hdl.sim.levelized import LevelizedSimulator
+
+
+def _adder_bit():
+    """A full adder from discrete gates, for hand-checkable simulation."""
+    m = Module("fa")
+    a = m.input("a", 1)
+    b = m.input("b", 1)
+    c = m.input("c", 1)
+    s = m.gate("XOR3", a[0], b[0], c[0])
+    carry = m.gate("MAJ3", a[0], b[0], c[0])
+    m.output("s", [s])
+    m.output("co", [carry])
+    return m
+
+
+def _pipelined_pair():
+    """Two-stage pipeline: stage 1 inverts, stage 2 ANDs with input b...
+    deliberately feed-forward so the time-shift register model applies."""
+    m = Module("pipe")
+    a = m.input("a", 1)
+    inv = m.gate("INV", a[0])
+    q = m.register(inv, stage=1)
+    out = m.gate("BUF", q)
+    m.output("o", [out])
+    return m
+
+
+class TestLevelized:
+    def test_full_adder_exhaustive(self):
+        m = _adder_bit()
+        sim = LevelizedSimulator(m)
+        stim = {"a": [p & 1 for p in range(8)],
+                "b": [(p >> 1) & 1 for p in range(8)],
+                "c": [(p >> 2) & 1 for p in range(8)]}
+        run = sim.run(stim, 8)
+        for p in range(8):
+            total = (p & 1) + ((p >> 1) & 1) + ((p >> 2) & 1)
+            assert run.bus_word(m.outputs["s"], p) == total & 1
+            assert run.bus_word(m.outputs["co"], p) == total >> 1
+
+    def test_register_is_time_shift(self):
+        m = _pipelined_pair()
+        run = LevelizedSimulator(m).run({"a": [1, 0, 1, 1]}, 4)
+        # Output at cycle t is NOT(a) from cycle t-1; cycle 0 sees reset 0.
+        assert [run.bus_word(m.outputs["o"], t) for t in range(4)] \
+            == [0, 0, 1, 0]
+
+    def test_missing_stimulus_rejected(self):
+        m = _adder_bit()
+        with pytest.raises(SimulationError):
+            LevelizedSimulator(m).run({"a": [0]}, 1)
+        with pytest.raises(SimulationError):
+            LevelizedSimulator(m).run({"a": [], "b": [], "c": []}, 0)
+
+    def test_toggle_counts(self):
+        m = Module("t")
+        a = m.input("a", 1)
+        n = m.gate("BUF", a[0])
+        m.output("o", [n])
+        run = LevelizedSimulator(m).run({"a": [0, 1, 1, 0, 1]}, 5)
+        toggles = run.toggles_per_net()
+        assert toggles[a[0]] == 3
+        assert toggles[n] == 3
+
+    def test_short_stimulus_padded_with_zero(self):
+        m = Module("t")
+        a = m.input("a", 1)
+        m.output("o", [m.gate("BUF", a[0])])
+        run = LevelizedSimulator(m).run({"a": [1]}, 3)
+        assert [run.bus_word(m.outputs["o"], t) for t in range(3)] == [1, 0, 0]
+
+
+class TestEventDriven:
+    def test_settles_to_levelized_values(self):
+        m = _adder_bit()
+        lib = default_library()
+        esim = EventSimulator(m, lib)
+        nets = {"a": m.inputs["a"][0], "b": m.inputs["b"][0],
+                "c": m.inputs["c"][0]}
+        esim.initialize({nets["a"]: 0, nets["b"]: 0, nets["c"]: 0})
+        for p in range(8):
+            esim.apply({nets["a"]: p & 1, nets["b"]: (p >> 1) & 1,
+                        nets["c"]: (p >> 2) & 1})
+            total = (p & 1) + ((p >> 1) & 1) + ((p >> 2) & 1)
+            assert esim.values[m.outputs["s"][0]] == total & 1
+            assert esim.values[m.outputs["co"][0]] == total >> 1
+
+    def test_glitch_counted(self):
+        """a XOR a-delayed-through-two-inverters glitches on every input
+        edge even though its settled value never changes."""
+        m = Module("glitch")
+        a = m.input("a", 1)
+        i1 = m.gate("INV", a[0])
+        i2 = m.gate("INV", i1)
+        x = m.gate("XOR2", a[0], i2)
+        m.output("o", [x])
+        lib = default_library()
+        esim = EventSimulator(m, lib)
+        net = m.inputs["a"][0]
+        esim.initialize({net: 0})
+        counts = esim.apply({net: 1})
+        # Settled value of o is 0 both before and after, but the XOR saw
+        # its inputs change at different times: two transitions.
+        assert esim.values[x] == 0
+        assert counts.toggles[x] == 2
+
+    def test_inertial_cancellation(self):
+        """A pulse shorter than a slow gate's delay is swallowed."""
+        m = Module("inertial")
+        a = m.input("a", 1)
+        b = m.input("b", 1)
+        # AND of two inputs changed in opposite directions produces a
+        # potential runt pulse; with simultaneous application there is no
+        # time skew, so the output must not glitch at all.
+        x = m.gate("AND2", a[0], b[0])
+        m.output("o", [x])
+        esim = EventSimulator(m, default_library())
+        na, nb = m.inputs["a"][0], m.inputs["b"][0]
+        esim.initialize({na: 1, nb: 0})
+        counts = esim.apply({na: 0, nb: 1})
+        assert esim.values[x] == 0
+        assert counts.toggles[x] == 0
+
+    def test_settle_time_close_to_sta(self):
+        """The worst event-sim settle time can approach but not exceed
+        the STA critical path."""
+        from repro.circuits.mult_radix16 import radix16_multiplier
+        from repro.hdl.timing.sta import analyze
+
+        m = radix16_multiplier()
+        lib = default_library()
+        sta = analyze(m, lib).latency_ps
+        esim = EventSimulator(m, lib)
+        stim0 = {}
+        for bus in m.inputs.values():
+            for net in bus:
+                stim0[net] = 0
+        esim.initialize(stim0)
+        worst = 0.0
+        values = [0xFFFFFFFFFFFFFFFF, 0x0123456789ABCDEF, 0xDEADBEEF12345678]
+        for v in values:
+            stim = dict(stim0)
+            for i, net in enumerate(m.inputs["x"]):
+                stim[net] = (v >> i) & 1
+            for i, net in enumerate(m.inputs["y"]):
+                stim[net] = (v >> (i % 32)) & 1
+            counts = esim.apply(stim)
+            worst = max(worst, counts.settle_time_ps)
+        assert 0 < worst <= sta + 1e-6
+
+    def test_apply_requires_initialize(self):
+        esim = EventSimulator(_adder_bit(), default_library())
+        with pytest.raises(SimulationError):
+            esim.apply({0: 1})
+
+    def test_initialize_requires_full_stimulus(self):
+        m = _adder_bit()
+        esim = EventSimulator(m, default_library())
+        with pytest.raises(SimulationError):
+            esim.initialize({m.inputs["a"][0]: 0})
+
+
+class TestCrossSimulatorConsistency:
+    def test_event_final_state_matches_levelized(self):
+        """After every applied cycle the event simulator's settled values
+        must equal the levelized simulator's — glitches change energy,
+        never function."""
+        from repro.circuits.mult_radix4 import radix4_multiplier
+
+        m = radix4_multiplier()
+        lib = default_library()
+        patterns = [(0, 0), (0xFFFFFFFFFFFFFFFF, 1),
+                    (0x123456789ABCDEF0, 0xFEDCBA9876543210)]
+        stim = {"x": [p[0] for p in patterns],
+                "y": [p[1] for p in patterns]}
+        run = LevelizedSimulator(m).run(stim, len(patterns))
+        esim = EventSimulator(m, lib)
+
+        def net_stim(t):
+            s = {}
+            for name, bus in m.inputs.items():
+                for i, net in enumerate(bus):
+                    s[net] = (stim[name][t] >> i) & 1
+            return s
+
+        esim.initialize(net_stim(0))
+        for t in range(1, len(patterns)):
+            esim.apply(net_stim(t))
+            for net in range(m.n_nets):
+                assert esim.values[net] == run.net_value(net, t), net

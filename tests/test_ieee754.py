@@ -1,0 +1,181 @@
+"""Tests for repro.bits.ieee754 (Table IV parameters and the codecs)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.ieee754 import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    decode,
+    encode,
+    format_by_name,
+    round_significand,
+)
+from repro.errors import BitWidthError, FormatError
+
+
+class TestTableIVParameters:
+    """The format parameters must match the paper's Table IV exactly."""
+
+    def test_storage(self):
+        assert [f.storage_bits for f in (BINARY16, BINARY32, BINARY64,
+                                         BINARY128)] == [16, 32, 64, 128]
+
+    def test_precision(self):
+        assert [f.precision for f in (BINARY16, BINARY32, BINARY64,
+                                      BINARY128)] == [11, 24, 53, 113]
+
+    def test_exponent_bits(self):
+        assert [f.exponent_bits for f in (BINARY16, BINARY32, BINARY64,
+                                          BINARY128)] == [5, 8, 11, 15]
+
+    def test_emax(self):
+        assert [f.emax for f in (BINARY16, BINARY32, BINARY64,
+                                 BINARY128)] == [15, 127, 1023, 16383]
+
+    def test_bias(self):
+        assert [f.bias for f in (BINARY16, BINARY32, BINARY64,
+                                 BINARY128)] == [15, 127, 1023, 16383]
+
+    def test_trailing_significand(self):
+        assert [f.trailing_significand_bits
+                for f in (BINARY16, BINARY32, BINARY64,
+                          BINARY128)] == [10, 23, 52, 112]
+
+    def test_lookup(self):
+        assert format_by_name("binary64") is BINARY64
+        with pytest.raises(FormatError):
+            format_by_name("binary31")
+
+
+class TestPackUnpack:
+    def test_roundtrip_fields(self):
+        enc = BINARY64.pack(1, 1023, 0x8000000000000)
+        assert BINARY64.unpack(enc) == (1, 1023, 0x8000000000000)
+
+    def test_field_bounds(self):
+        with pytest.raises(FormatError):
+            BINARY64.pack(2, 0, 0)
+        with pytest.raises(FormatError):
+            BINARY64.pack(0, 2048, 0)
+        with pytest.raises(FormatError):
+            BINARY32.pack(0, 0, 1 << 23)
+
+    def test_unpack_width_checked(self):
+        with pytest.raises(BitWidthError):
+            BINARY32.unpack(1 << 32)
+
+    def test_classification(self):
+        assert BINARY32.is_zero(BINARY32.pack(1, 0, 0))
+        assert BINARY32.is_subnormal(BINARY32.pack(0, 0, 1))
+        assert BINARY32.is_normal(BINARY32.pack(0, 1, 0))
+        assert BINARY32.is_inf(BINARY32.pack(0, 255, 0))
+        assert BINARY32.is_nan(BINARY32.pack(0, 255, 1))
+
+    def test_significand_hidden_bit(self):
+        assert BINARY32.significand(BINARY32.pack(0, 1, 0)) == 1 << 23
+        assert BINARY32.significand(BINARY32.pack(0, 0, 5)) == 5
+
+
+class TestCodecAgainstStruct:
+    """Cross-check the reference codec against the C double/float codecs."""
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_binary64_encode_matches_struct(self, value):
+        expected = struct.unpack("<Q", struct.pack("<d", value))[0]
+        assert encode(value, BINARY64) == expected
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_binary32_encode_matches_struct(self, value):
+        expected = struct.unpack("<I", struct.pack("<f", value))[0]
+        assert encode(value, BINARY32) == expected
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_binary64_decode_matches_struct(self, encoding):
+        expected = struct.unpack("<d", struct.pack("<Q", encoding))[0]
+        got = decode(encoding, BINARY64)
+        if math.isnan(expected):
+            assert math.isnan(got)
+        else:
+            assert got == expected
+
+    def test_specials(self):
+        assert decode(encode(math.inf, BINARY32), BINARY32) == math.inf
+        assert decode(encode(-math.inf, BINARY32), BINARY32) == -math.inf
+        assert math.isnan(decode(encode(math.nan, BINARY64), BINARY64))
+        assert encode(0.0, BINARY64) == 0
+        assert encode(-0.0, BINARY64) == 1 << 63
+
+    def test_overflow_to_inf(self):
+        assert BINARY32.is_inf(encode(1e300, BINARY32))
+
+    def test_underflow_to_zero(self):
+        assert BINARY32.is_zero(encode(1e-300, BINARY32))
+
+    def test_subnormal_binary32(self):
+        smallest = math.ldexp(1.0, -149)
+        assert encode(smallest, BINARY32) == 1
+        assert decode(1, BINARY32) == smallest
+
+
+class TestRoundSignificand:
+    def test_truncate(self):
+        assert round_significand(0b1111, 2, mode="truncate") == (0b11, 0)
+
+    def test_injection_rounds_half_up(self):
+        # 0b101 -> keep 2 bits, discarded '1' is exactly half: rounds up.
+        assert round_significand(0b101, 2, mode="injection") == (0b11, 0)
+        assert round_significand(0b100, 2, mode="injection") == (0b10, 0)
+
+    def test_injection_overflow_renormalizes(self):
+        # 0b111 + half -> 0b1000: carry out, renormalized.
+        assert round_significand(0b111, 2, mode="injection") == (0b10, 1)
+
+    def test_rne_tie_to_even(self):
+        assert round_significand(0b101, 2, mode="rne") == (0b10, 0)
+        assert round_significand(0b111, 2, mode="rne") == (0b10, 1)
+        assert round_significand(0b1101, 3, mode="rne") == (0b110, 0)
+
+    def test_rne_sticky_breaks_tie(self):
+        # guard 1 + sticky 1 always rounds up.
+        assert round_significand(0b1011, 2, mode="rne") == (0b11, 0)
+
+    def test_explicit_sticky_operand(self):
+        assert round_significand(0b1010, 2, mode="rne",
+                                 sticky_lsbs=1) == (0b11, 0)
+        assert round_significand(0b1010, 2, mode="rne",
+                                 sticky_lsbs=0) == (0b10, 0)
+
+    def test_errors(self):
+        with pytest.raises(FormatError):
+            round_significand(0, 2)
+        with pytest.raises(FormatError):
+            round_significand(0b11, 2)
+        with pytest.raises(FormatError):
+            round_significand(0b111, 2, mode="stochastic")
+
+    @given(st.integers(min_value=1 << 10, max_value=(1 << 20) - 1))
+    def test_rne_matches_float_rounding(self, product):
+        kept, carry = round_significand(product, 8, mode="rne")
+        d = product.bit_length() - 8
+        exact = product / (1 << d)
+        reference = round(exact)          # Python round is ties-to-even
+        if carry:
+            assert reference == 1 << 8
+            assert kept == 1 << 7
+        else:
+            assert kept == reference
+
+    @given(st.integers(min_value=1 << 10, max_value=(1 << 20) - 1))
+    def test_injection_within_half_ulp(self, product):
+        kept, carry = round_significand(product, 8, mode="injection")
+        d = product.bit_length() - 8
+        exact = product / (1 << d)
+        value = (kept << 1) if carry else kept
+        scale = 2 if carry else 1
+        assert abs(value - exact) <= 0.5 * scale

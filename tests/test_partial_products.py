@@ -1,0 +1,170 @@
+"""Tests for the encoded PP arrays (Sec. II sign-extension reduction,
+Fig. 4 dual-lane arrangement)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.partial_products import (
+    PPRow,
+    array_row_index,
+    build_dual_lane_pp_array,
+    build_pp_array,
+    occupancy_grid,
+)
+from repro.errors import BitWidthError
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+U24 = st.integers(min_value=0, max_value=(1 << 24) - 1)
+SIG24 = st.integers(min_value=1 << 23, max_value=(1 << 24) - 1)
+
+
+class TestSingleArray:
+    @given(U64, U64)
+    def test_radix16_total_is_product(self, x, y):
+        array = build_pp_array(x, y, width=64, radix_log2=4,
+                               product_width=128)
+        assert array.total() == x * y
+
+    @given(U64, U64)
+    def test_radix4_total_is_product(self, x, y):
+        array = build_pp_array(x, y, width=64, radix_log2=2,
+                               product_width=128)
+        assert array.total() == x * y
+
+    @given(U64, U64)
+    def test_radix8_total_is_product(self, x, y):
+        array = build_pp_array(x, y, width=64, radix_log2=3,
+                               product_width=128)
+        assert array.total() == x * y
+
+    @given(U64)
+    def test_row_count_radix16(self, y):
+        array = build_pp_array(1, y, width=64, radix_log2=4)
+        assert len(array.rows) == 17
+
+    @given(U64, U64)
+    def test_rows_stay_inside_array(self, x, y):
+        array = build_pp_array(x, y, width=64, radix_log2=4,
+                               product_width=128)
+        for row in array.rows:
+            assert row.msb_position < 128
+
+    def test_max_height_17_rows(self):
+        """Sec. II: the radix-16 array is 17 rows tall (our structural
+        height adds the +1 carry slots of the signed rows on top)."""
+        array = build_pp_array((1 << 64) - 1, (1 << 64) - 1, width=64,
+                               radix_log2=4, product_width=128)
+        heights = {}
+        for row in array.rows:
+            for b in range(row.width):
+                pos = row.offset + b
+                heights[pos] = heights.get(pos, 0) + 1
+        assert max(heights.values()) == 17
+        assert array.max_height() >= 17
+
+    @given(U64)
+    def test_zero_x_still_exact(self, y):
+        """X = 0 with negative digits exercises the all-ones complement
+        pattern whose +1 wraps the field — the correction must absorb it."""
+        array = build_pp_array(0, y, width=64, radix_log2=4,
+                               product_width=128)
+        assert array.total() == 0
+
+    def test_correction_is_data_independent(self):
+        a = build_pp_array(0, 0, width=64, radix_log2=4, product_width=128)
+        b = build_pp_array((1 << 64) - 1, (1 << 64) - 1, width=64,
+                           radix_log2=4, product_width=128)
+        assert a.corrections == b.corrections
+
+    @given(st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=(1 << 16) - 1),
+           st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_all_radices_16bit(self, k, x, y):
+        array = build_pp_array(x, y, width=16, radix_log2=k,
+                               product_width=32)
+        assert array.total() == x * y
+
+
+class TestDualLaneArray:
+    @given(U24, U24, U24, U24)
+    @settings(max_examples=60)
+    def test_lanes_independent_and_exact(self, x0, y0, x1, y1):
+        array = build_dual_lane_pp_array(x0, y0, x1, y1)
+        assert array.total() == (x0 * y0) | ((x1 * y1) << 64)
+
+    @given(SIG24, SIG24, SIG24, SIG24)
+    @settings(max_examples=60)
+    def test_normalized_significands(self, x0, y0, x1, y1):
+        array = build_dual_lane_pp_array(x0, y0, x1, y1)
+        assert array.total() == (x0 * y0) | ((x1 * y1) << 64)
+
+    @given(U24, U24)
+    def test_lower_lane_does_not_touch_upper(self, x0, y0):
+        array = build_dual_lane_pp_array(x0, y0, 0, 0)
+        for row in array.rows:
+            if row.lane == "lo":
+                assert row.msb_position < 64
+
+    @given(U24, U24)
+    def test_upper_lane_does_not_touch_lower(self, x1, y1):
+        array = build_dual_lane_pp_array(0, 0, x1, y1)
+        for row in array.rows:
+            if row.lane == "hi":
+                assert row.offset >= 64
+
+    def test_two_windows(self):
+        array = build_dual_lane_pp_array(1, 1, 1, 1)
+        assert array.windows == ((0, 64), (64, 128))
+        assert len(array.corrections) == 2
+
+    def test_window_lookup(self):
+        array = build_dual_lane_pp_array(1, 1, 1, 1)
+        assert array.window_of(0) == (0, 64)
+        assert array.window_of(63) == (0, 64)
+        assert array.window_of(64) == (64, 128)
+        with pytest.raises(BitWidthError):
+            array.window_of(128)
+
+    def test_physical_row_mapping(self):
+        """Fig. 4: upper-lane digit j occupies physical array row j + 8."""
+        array = build_dual_lane_pp_array((1 << 24) - 1, (1 << 24) - 1,
+                                         (1 << 24) - 1, (1 << 24) - 1)
+        lo_rows = sorted(array_row_index(r) for r in array.rows
+                         if r.lane == "lo")
+        hi_rows = sorted(array_row_index(r) for r in array.rows
+                         if r.lane == "hi")
+        assert lo_rows == list(range(0, 7))
+        assert hi_rows == list(range(8, 15))
+
+
+class TestOccupancyGrid:
+    def test_grid_shape(self):
+        array = build_dual_lane_pp_array((1 << 24) - 1, (1 << 24) - 1,
+                                         (1 << 24) - 1, (1 << 24) - 1)
+        grid = occupancy_grid(array)
+        # 14 physical rows + 2 correction rows.
+        assert len(grid) == 16
+        assert all(len(line) == 128 for line in grid)
+
+    def test_lane_gap_visible(self):
+        """The dual arrangement leaves columns 48..63 structurally empty
+        below the boundary (the sign-ext corrections fill some)."""
+        array = build_dual_lane_pp_array(0xFFFFFF, 0xFFFFFF,
+                                         0xFFFFFF, 0xFFFFFF)
+        grid = occupancy_grid(array)
+        field_rows = grid[:14]
+        for line in field_rows:
+            # Column 52 (index 128-1-52 from the left) is empty in all rows.
+            assert line[128 - 1 - 52] == "."
+
+
+class TestPPRowValidation:
+    def test_payload_must_fit(self):
+        with pytest.raises(BitWidthError):
+            PPRow(payload=1 << 68, offset=0, carry=0, width=68,
+                  signed=True, digit=1)
+
+    def test_carry_is_a_bit(self):
+        with pytest.raises(BitWidthError):
+            PPRow(payload=0, offset=0, carry=2, width=68,
+                  signed=True, digit=1)

@@ -1,0 +1,147 @@
+"""Tests for the high-radix recoders (Sec. II recoding invariants)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.recoding import (
+    booth_radix4_digits,
+    digit_count,
+    digits_value,
+    radix8_digits,
+    radix16_digits,
+    recode_minimally_redundant,
+    recoder_digit_bits,
+)
+from repro.errors import BitWidthError
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestRadix16:
+    """The paper's recoding: 17 digits in {-8..8} for 64-bit operands."""
+
+    @given(U64)
+    def test_value_preserved(self, y):
+        digits = radix16_digits(y)
+        assert digits_value(digits, 4) == y
+
+    @given(U64)
+    def test_digit_set_minimally_redundant(self, y):
+        assert all(-8 <= d <= 8 for d in radix16_digits(y))
+
+    @given(U64)
+    def test_seventeen_digits(self, y):
+        assert len(radix16_digits(y)) == 17
+
+    @given(U64)
+    def test_top_digit_is_transfer(self, y):
+        """The 17th PP is 0 or X: its digit is the final transfer bit."""
+        digits = radix16_digits(y)
+        assert digits[-1] in (0, 1)
+        assert digits[-1] == (y >> 63)
+
+    def test_all_zero(self):
+        assert radix16_digits(0) == [0] * 17
+
+    def test_all_ones(self):
+        # 0xFF..F = 2**64 - 1: each group's -1 cancels the incoming
+        # transfer except at the very bottom and the final transfer.
+        digits = radix16_digits((1 << 64) - 1)
+        assert digits == [-1] + [0] * 15 + [1]
+
+    def test_transfer_is_group_msb(self):
+        """Carry-free property: the transfer out of group i is its MSB."""
+        y = 0x8  # group 0 = 8 -> transfer 1, digit -8
+        digits = radix16_digits(y)
+        assert digits[0] == -8
+        assert digits[1] == 1
+
+
+class TestRadix4:
+    @given(U64)
+    def test_value_preserved(self, y):
+        assert digits_value(booth_radix4_digits(y), 2) == y
+
+    @given(U64)
+    def test_digit_set(self, y):
+        assert all(-2 <= d <= 2 for d in booth_radix4_digits(y))
+
+    @given(U64)
+    def test_thirty_three_digits(self, y):
+        assert len(booth_radix4_digits(y)) == 33
+
+
+class TestRadix8:
+    @given(U64)
+    def test_value_preserved(self, y):
+        assert digits_value(radix8_digits(y), 3) == y
+
+    @given(U64)
+    def test_digit_set(self, y):
+        assert all(-4 <= d <= 4 for d in radix8_digits(y))
+
+    @given(U64)
+    def test_twenty_three_digits(self, y):
+        assert len(radix8_digits(y)) == 23
+
+    @given(U64)
+    def test_last_digit_always_zero(self, y):
+        """64 isn't a multiple of 3: the top transfer can never fire."""
+        assert radix8_digits(y)[-1] == 0
+
+    @given(U64)
+    def test_partial_group_digit_non_negative(self, y):
+        """Group 21 holds only bit 63: its digit cannot go negative."""
+        assert radix8_digits(y)[21] >= 0
+
+
+class TestGenericRecoder:
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_lane_recode_matches_word_recode_prefix(self, y24):
+        """A 24-bit lane recodes to the same digits as the low seven
+        digits of the 64-bit recoding when the upper word bits are zero —
+        the property that lets the dual-binary32 mode share the recoder
+        (Sec. III-B)."""
+        lane = recode_minimally_redundant(y24, 24, 4)
+        word = radix16_digits(y24)
+        assert word[:7] == lane
+        assert all(d == 0 for d in word[7:])
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_upper_lane_alignment(self, z24):
+        """Z placed at word bits 32..55 recodes into digits 8..14."""
+        word = radix16_digits(z24 << 32)
+        lane = recode_minimally_redundant(z24, 24, 4)
+        assert word[8:15] == lane
+        assert all(d == 0 for d in word[:8])
+        assert all(d == 0 for d in word[15:])
+
+    def test_bad_parameters(self):
+        with pytest.raises(BitWidthError):
+            recode_minimally_redundant(0, 64, 0)
+        with pytest.raises(BitWidthError):
+            recode_minimally_redundant(0, 0, 4)
+        with pytest.raises(BitWidthError):
+            recode_minimally_redundant(-1, 64, 4)
+        with pytest.raises(BitWidthError):
+            recode_minimally_redundant(1 << 64, 64, 4)
+
+    def test_digit_count(self):
+        assert digit_count(64, 4) == 17
+        assert digit_count(64, 2) == 33
+        assert digit_count(64, 3) == 23
+
+
+class TestDigitControlBits:
+    @given(st.integers(min_value=-8, max_value=8))
+    def test_one_hot(self, digit):
+        sign, onehot = recoder_digit_bits(digit, 4)
+        assert sum(onehot) == 1
+        assert onehot[abs(digit)] == 1
+        assert sign == (1 if digit < 0 else 0)
+
+    def test_out_of_set(self):
+        with pytest.raises(BitWidthError):
+            recoder_digit_bits(9, 4)
+        with pytest.raises(BitWidthError):
+            recoder_digit_bits(-3, 2)

@@ -1,0 +1,194 @@
+"""Tests for Algorithm 1 / Sec. IV (binary64 -> binary32 reduction)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.ieee754 import BINARY32, BINARY64, decode, encode
+from repro.bits.utils import mask
+from repro.core.reduction import (
+    BIAS_DELTA,
+    DISCARDED_FRACTION_BITS,
+    UPPER_BOUND,
+    LossyReducer,
+    PeriodicReducer,
+    is_reducible,
+    reduce_binary64,
+    widen_binary32,
+)
+from repro.errors import FormatError
+
+ANY64 = st.integers(min_value=0, max_value=mask(64))
+REDUCIBLE = st.builds(
+    lambda s, e, f: BINARY64.pack(s, e, f << DISCARDED_FRACTION_BITS),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=897, max_value=1150),
+    st.integers(min_value=0, max_value=mask(23)),
+)
+
+
+class TestAlgorithmConstants:
+    def test_paper_constants(self):
+        """Algorithm 1 hard-codes -896 and -1151; they must derive from
+        the Table IV parameters."""
+        assert BIAS_DELTA == 896 == BINARY64.bias - BINARY32.bias
+        assert UPPER_BOUND == 1151 == 896 + 255
+        assert DISCARDED_FRACTION_BITS == 29 == 52 - 23
+
+
+class TestExactReduction:
+    @given(REDUCIBLE)
+    def test_reducible_and_error_free(self, encoding):
+        decision = reduce_binary64(encoding)
+        assert decision.reduced
+        assert decode(decision.encoding32, BINARY32) \
+            == decode(encoding, BINARY64)
+
+    @given(REDUCIBLE)
+    def test_widen_is_inverse(self, encoding):
+        decision = reduce_binary64(encoding)
+        assert widen_binary32(decision.encoding32) == encoding
+
+    @given(ANY64)
+    @settings(max_examples=300)
+    def test_reduction_never_lies(self, encoding):
+        """Whenever the algorithm reduces, the value is preserved exactly;
+        whenever it refuses, at least one condition genuinely fails."""
+        decision = reduce_binary64(encoding)
+        sign, e64, fraction = BINARY64.unpack(encoding)
+        if decision.reduced:
+            assert decode(decision.encoding32, BINARY32) \
+                == decode(encoding, BINARY64)
+        else:
+            assert (decision.c1 == 0 or decision.c2 == 0
+                    or decision.zero == 1)
+
+    @given(ANY64)
+    def test_condition_bits_match_definition(self, encoding):
+        decision = reduce_binary64(encoding)
+        __, e64, fraction = BINARY64.unpack(encoding)
+        assert decision.e32 == e64 - 896
+        assert decision.c1 == (1 if e64 - 896 > 0 else 0)
+        assert decision.c2 == (1 if e64 - 1151 < 0 else 0)
+        assert decision.zero == (1 if fraction & mask(29) else 0)
+
+    def test_boundary_exponents(self):
+        f = 0
+        assert not reduce_binary64(BINARY64.pack(0, 896, f)).reduced  # E32=0
+        assert reduce_binary64(BINARY64.pack(0, 897, f)).reduced      # E32=1
+        assert reduce_binary64(BINARY64.pack(0, 1150, f)).reduced     # E32=254
+        assert not reduce_binary64(BINARY64.pack(0, 1151, f)).reduced # inf enc
+
+    def test_boundary_fractions(self):
+        e = 1023
+        assert reduce_binary64(BINARY64.pack(0, e, 0)).reduced
+        assert reduce_binary64(BINARY64.pack(0, e, 1 << 29)).reduced
+        assert not reduce_binary64(BINARY64.pack(0, e, 1)).reduced
+        assert not reduce_binary64(BINARY64.pack(0, e, mask(29))).reduced
+
+    def test_specials_never_reduce(self):
+        for encoding in (BINARY64.pack(0, 0, 0),       # zero
+                         BINARY64.pack(0, 0, 123),     # subnormal
+                         BINARY64.pack(0, 2047, 0),    # inf
+                         BINARY64.pack(0, 2047, 99)):  # NaN
+            assert not reduce_binary64(encoding).reduced
+
+    def test_known_values(self):
+        assert is_reducible(encode(1.5, BINARY64))
+        assert is_reducible(encode(-2.0, BINARY64))
+        assert is_reducible(encode(1234.0, BINARY64))
+        assert not is_reducible(encode(0.1, BINARY64))   # periodic tail
+        assert not is_reducible(encode(1e300, BINARY64))  # out of range
+        assert not is_reducible(encode(1e-300, BINARY64))
+
+    def test_sign_preserved(self):
+        d = reduce_binary64(encode(-1.5, BINARY64))
+        assert decode(d.encoding32, BINARY32) == -1.5
+
+    def test_widen_rejects_specials(self):
+        with pytest.raises(FormatError):
+            widen_binary32(BINARY32.pack(0, 0, 0))
+        with pytest.raises(FormatError):
+            widen_binary32(BINARY32.pack(0, 255, 0))
+
+
+class TestPeriodicReducer:
+    def test_one_third_reduces(self):
+        """1/3 has a periodic significand (01 repeating): the extension
+        demotes it within half a binary32 ulp."""
+        reducer = PeriodicReducer()
+        encoding = encode(1.0 / 3.0, BINARY64)
+        assert not reduce_binary64(encoding).reduced   # exact alg refuses
+        decision = reducer.reduce(encoding)
+        assert decision.reduced
+        v32 = decode(decision.encoding32, BINARY32)
+        v64 = decode(encoding, BINARY64)
+        ulp = math.ldexp(1.0, math.frexp(v64)[1] - 24)
+        assert abs(v32 - v64) <= 0.5 * ulp
+
+    def test_exact_cases_still_exact(self):
+        reducer = PeriodicReducer()
+        decision = reducer.reduce(encode(1.5, BINARY64))
+        assert decision.reduced
+        assert decode(decision.encoding32, BINARY32) == 1.5
+
+    def test_aperiodic_refused(self):
+        reducer = PeriodicReducer(max_period=8)
+        encoding = encode(math.pi, BINARY64)
+        assert not reducer.reduce(encoding).reduced
+
+    def test_out_of_range_refused(self):
+        reducer = PeriodicReducer()
+        assert not reducer.reduce(encode(1e300, BINARY64)).reduced
+
+    def test_expand_replays_period(self):
+        reducer = PeriodicReducer()
+        encoding = encode(1.0 / 3.0, BINARY64)
+        decision = reducer.reduce(encoding)
+        # 1/3's period is 2 and divides 23 unevenly; expansion is
+        # best-effort but must stay within one binary32 ulp of the value.
+        expanded = reducer.expand(decision.encoding32)
+        v = decode(expanded, BINARY64)
+        assert abs(v - 1.0 / 3.0) <= math.ldexp(1.0, -24)
+
+    def test_period_validation(self):
+        with pytest.raises(FormatError):
+            PeriodicReducer(max_period=0)
+        with pytest.raises(FormatError):
+            PeriodicReducer(max_period=24)
+
+
+class TestLossyReducer:
+    def test_budget_zero_equals_exact(self):
+        reducer = LossyReducer(max_ulp_error=0.0)
+        assert not reducer.reduce(encode(0.1, BINARY64)).reduced
+        assert reducer.reduce(encode(1.5, BINARY64)).reduced
+
+    def test_half_ulp_accepts_roundable(self):
+        reducer = LossyReducer(max_ulp_error=0.5)
+        decision = reducer.reduce(encode(0.1, BINARY64))
+        assert decision.reduced
+        v32 = decode(decision.encoding32, BINARY32)
+        assert abs(v32 - 0.1) <= math.ldexp(1.0, -4 - 24)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    @settings(max_examples=100)
+    def test_error_bound_respected(self, value):
+        reducer = LossyReducer(max_ulp_error=0.5)
+        encoding = encode(value, BINARY64)
+        decision = reducer.reduce(encoding)
+        if decision.reduced:
+            v32 = decode(decision.encoding32, BINARY32)
+            v64 = decode(encoding, BINARY64)
+            __, e32, __ = BINARY32.unpack(decision.encoding32)
+            ulp = 2.0 ** (e32 - 127 - 23)
+            assert abs(v32 - v64) <= 0.5 * ulp
+
+    def test_range_still_enforced(self):
+        reducer = LossyReducer(max_ulp_error=100.0)
+        assert not reducer.reduce(encode(1e300, BINARY64)).reduced
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(FormatError):
+            LossyReducer(max_ulp_error=-1.0)

@@ -1,0 +1,142 @@
+"""Tests for the Fig. 3 speculative normalization/rounding algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.rounding import (
+    FP32_HIGH_LANE,
+    FP32_LOW_LANE,
+    FP64_LANE,
+    injection_vectors,
+    int64_product,
+    normalize_round_fp32_dual,
+    normalize_round_fp64,
+    normalize_round_lane,
+    speculative_sums,
+)
+from repro.bits.ieee754 import round_significand
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+SIG53 = st.integers(min_value=1 << 52, max_value=(1 << 53) - 1)
+SIG24 = st.integers(min_value=1 << 23, max_value=(1 << 24) - 1)
+
+
+def _split_carry_save(product, salt):
+    """Split an integer into an (s, c) pair like a tree would produce."""
+    s = product & ~salt & mask(128)
+    c = product - s
+    assert s + c == product
+    return s, c & mask(128)
+
+
+class TestLaneGeometry:
+    def test_fp64_positions(self):
+        """Kept field P105..P53, round bit 52 (the paper's prose; Fig. 3's
+        printed '53' is off by one — see the module docstring)."""
+        assert FP64_LANE.r1_position == 52
+        assert FP64_LANE.r0_position == 51
+        assert FP64_LANE.significand_lsb == 53
+
+    def test_fp32_positions_match_paper_verbatim(self):
+        """Sec. III-B gives the dual vectors explicitly: 87/23 and 86/22."""
+        r1, r0 = injection_vectors([FP32_LOW_LANE, FP32_HIGH_LANE])
+        assert r1 == (1 << 87) | (1 << 23)
+        assert r0 == (1 << 86) | (1 << 22)
+
+
+class TestFP64Rounding:
+    @given(SIG53, SIG53, st.integers(min_value=0, max_value=mask(128)))
+    @settings(max_examples=150)
+    def test_matches_exact_injection_rounding(self, mx, my, salt):
+        product = mx * my
+        s, c = _split_carry_save(product, salt)
+        lane = normalize_round_fp64(s, c)
+        expect, carry = round_significand(product, 53, mode="injection")
+        high = (product >> 105) & 1
+        assert lane.significand == expect
+        assert lane.exponent_increment == (high | carry)
+
+    def test_renormalization_window(self):
+        """Products in [2**105 - 2**52, 2**105) round up to 1.0 x 2^(e+1)
+        only above 2**105 - 2**51; the mux select must split this window
+        correctly (this is the case a P1-based select would get wrong)."""
+        for product in ((1 << 105) - (1 << 52),          # rounds to 1.11..1
+                        (1 << 105) - (1 << 51) - 1,      # just below the tie
+                        (1 << 105) - (1 << 51),          # rounds up: 1.0, e+1
+                        (1 << 105) - 1):                 # rounds up: 1.0, e+1
+            lane = normalize_round_fp64(product, 0)
+            expect, carry = round_significand(product, 53, mode="injection")
+            assert lane.significand == expect, hex(product)
+            assert lane.exponent_increment == carry, hex(product)
+
+    def test_exact_one_times_one(self):
+        product = (1 << 52) * (1 << 52)
+        lane = normalize_round_fp64(product, 0)
+        assert lane.significand == 1 << 52
+        assert lane.exponent_increment == 0
+
+    def test_max_product_no_overflow(self):
+        mx = my = (1 << 53) - 1
+        lane = normalize_round_fp64(mx * my, 0)
+        expect, __ = round_significand(mx * my, 53, mode="injection")
+        assert lane.significand == expect
+        assert lane.exponent_increment == 1
+
+
+class TestFP32DualRounding:
+    @given(SIG24, SIG24, SIG24, SIG24)
+    @settings(max_examples=150)
+    def test_both_lanes_round_independently(self, x0, y0, x1, y1):
+        p_lo = x0 * y0
+        p_hi = x1 * y1
+        s = p_lo | (p_hi << 64)
+        low, high = normalize_round_fp32_dual(s, 0)
+        e_lo, c_lo = round_significand(p_lo, 24, mode="injection")
+        e_hi, c_hi = round_significand(p_hi, 24, mode="injection")
+        assert low.significand == e_lo
+        assert high.significand == e_hi
+        assert low.exponent_increment == (((p_lo >> 47) & 1) | c_lo)
+        assert high.exponent_increment == (((p_hi >> 47) & 1) | c_hi)
+
+    @given(SIG24, SIG24, st.integers(min_value=0, max_value=mask(64)))
+    @settings(max_examples=100)
+    def test_lane_isolation_under_carry_save_noise(self, x1, y1, lo_bits):
+        """Whatever the lower window holds, the upper lane's result only
+        depends on the upper window (the split CPA kills the carry)."""
+        p_hi = x1 * y1
+        s = lo_bits | (p_hi << 64)
+        __, high = normalize_round_fp32_dual(s, 0)
+        __, high_ref = normalize_round_fp32_dual(p_hi << 64, 0)
+        assert high.significand == high_ref.significand
+        assert high.exponent_increment == high_ref.exponent_increment
+
+
+class TestSpeculativeSums:
+    @given(st.integers(min_value=0, max_value=mask(128)),
+           st.integers(min_value=0, max_value=mask(128)))
+    def test_unsplit_sums(self, s, c):
+        p1, p0 = speculative_sums(s, c, 1 << 52, 1 << 51, split=False)
+        assert p1 == (s + c + (1 << 52)) & mask(128)
+        assert p0 == (s + c + (1 << 51)) & mask(128)
+
+    @given(st.integers(min_value=0, max_value=mask(64)),
+           st.integers(min_value=0, max_value=mask(64)))
+    def test_split_windows(self, lo, hi):
+        s = lo | (hi << 64)
+        p1, __ = speculative_sums(s, 0, 0, 0, split=True)
+        assert p1 == s                      # no carries to cross anyway
+
+    def test_width_checked(self):
+        with pytest.raises(BitWidthError):
+            speculative_sums(1 << 128, 0, 0, 0)
+
+
+class TestInt64Path:
+    @given(st.integers(min_value=0, max_value=mask(64)),
+           st.integers(min_value=0, max_value=mask(64)),
+           st.integers(min_value=0, max_value=mask(128)))
+    def test_single_cpa_no_injection(self, x, y, salt):
+        product = x * y
+        s, c = _split_carry_save(product, salt)
+        assert int64_product(s, c) == product

@@ -1,0 +1,153 @@
+"""Tests for the Dadda reduction scheduler (the TREE of Fig. 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.csa import full_adder, half_adder
+from repro.arith.partial_products import build_dual_lane_pp_array, build_pp_array
+from repro.arith.trees import (
+    columns_from_rows,
+    columns_total,
+    dadda_sequence,
+    reduce_columns,
+    reduce_pp_array,
+)
+from repro.bits.utils import mask
+from repro.errors import BitWidthError
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestDaddaSequence:
+    def test_radix16_height(self):
+        # 17-high array: 6 stages (13, 9, 6, 4, 3, 2).
+        assert dadda_sequence(17) == [2, 3, 4, 6, 9, 13]
+
+    def test_radix4_height(self):
+        # 33-high array: 8 stages.
+        assert dadda_sequence(33) == [2, 3, 4, 6, 9, 13, 19, 28]
+
+    def test_trivial(self):
+        assert dadda_sequence(2) == [2]
+        assert dadda_sequence(1) == [2]
+
+    def test_strictly_below_height(self):
+        for h in range(3, 100):
+            assert dadda_sequence(h)[-1] < h
+
+
+class TestReduceColumns:
+    def _reduce(self, columns, **kwargs):
+        return reduce_columns(columns, fa=full_adder, ha=half_adder,
+                              **kwargs)
+
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=1),
+                             max_size=20),
+                    min_size=1, max_size=12))
+    @settings(max_examples=80)
+    def test_sum_preserved(self, columns):
+        width = len(columns) + 8          # headroom for carries
+        columns = columns + [[] for __ in range(8)]
+        before = columns_total(columns)
+        reduced, schedule = self._reduce(columns)
+        assert columns_total(reduced) == before
+        assert all(len(c) <= 2 for c in reduced)
+
+    def test_already_reduced_is_noop(self):
+        columns = [[1, 1], [0], []]
+        reduced, schedule = self._reduce(columns)
+        assert reduced == columns
+        assert schedule.full_adders == 0
+        assert schedule.half_adders == 0
+
+    def test_carry_kill_hook(self):
+        # Two full columns; kill everything crossing into column 1.
+        columns = [[1, 1, 1, 1], [], []]
+        reduced, schedule = self._reduce(
+            columns, carry_hook=lambda c, i: None if i == 0 else c)
+        assert schedule.killed_carries > 0
+        # Column 0 sums to 4 -> 0 mod carries killed.
+        assert columns_total(reduced) == (4 - 2 * schedule.killed_carries)
+
+    def test_escape_detected(self):
+        with pytest.raises(BitWidthError):
+            self._reduce([[1, 1, 1]])     # carry has nowhere to go
+
+    def test_stage_count_logarithmic(self):
+        columns = [[1] * 33 for __ in range(4)] + [[] for __ in range(8)]
+        __, schedule = self._reduce(columns)
+        assert schedule.stages == 8       # the Dadda sequence for h=33
+
+    def test_bad_target(self):
+        with pytest.raises(BitWidthError):
+            self._reduce([[1]], target=0)
+
+    def test_order_key_does_not_change_sum(self):
+        columns = [[1, 0, 1, 1, 0, 1] for __ in range(4)]
+        columns += [[] for __ in range(6)]
+        plain, __ = self._reduce([list(c) for c in columns])
+        ordered, __ = self._reduce([list(c) for c in columns],
+                                   order_key=lambda b: -b)
+        assert columns_total(plain) == columns_total(ordered)
+
+
+class TestColumnsFromRows:
+    def test_simple(self):
+        columns = columns_from_rows([(0b101, 1)], 8)
+        assert columns_total(columns) == 0b1010
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitWidthError):
+            columns_from_rows([(-1, 0)], 8)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(BitWidthError):
+            columns_from_rows([(0b11, 7)], 8)
+
+
+class TestReducePPArray:
+    """End-to-end: encoded array -> carry-save pair -> product."""
+
+    @given(U64, U64)
+    @settings(max_examples=40)
+    def test_radix16_end_to_end(self, x, y):
+        array = build_pp_array(x, y, width=64, radix_log2=4,
+                               product_width=128)
+        s, c, schedule = reduce_pp_array(array)
+        assert (s + c) & mask(128) == x * y
+        assert schedule.stages <= 7
+
+    @given(U64, U64)
+    @settings(max_examples=25)
+    def test_radix4_end_to_end(self, x, y):
+        array = build_pp_array(x, y, width=64, radix_log2=2,
+                               product_width=128)
+        s, c, __ = reduce_pp_array(array)
+        assert (s + c) & mask(128) == x * y
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1))
+    @settings(max_examples=40)
+    def test_dual_lane_window_isolation(self, x0, y0, x1, y1):
+        """Carry kill at bit 64 keeps the two lane sums independent."""
+        array = build_dual_lane_pp_array(x0, y0, x1, y1)
+        s, c, schedule = reduce_pp_array(array)
+        assert (s + c) & mask(64) == x0 * y0
+        assert ((s >> 64) + (c >> 64)) & mask(64) == x1 * y1
+
+    def test_radix4_deeper_than_radix16(self):
+        """The paper's core motivation: radix-16 tree is shallower.
+
+        (The reference feeder only materializes *set* bits, so dense
+        operands are used to exercise the full structural height.)"""
+        x, y = 0xDEADBEEFCAFEBABE, 0x123456789ABCDEF1
+        a16 = build_pp_array(x, y, width=64, radix_log2=4,
+                             product_width=128)
+        a4 = build_pp_array(x, y, width=64, radix_log2=2,
+                            product_width=128)
+        __, __, s16 = reduce_pp_array(a16)
+        __, __, s4 = reduce_pp_array(a4)
+        assert s4.stages > s16.stages
+        assert s4.full_adders > s16.full_adders

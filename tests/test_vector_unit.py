@@ -1,0 +1,122 @@
+"""Tests for the issue-level scheduler (Sec. IV energy argument)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.ieee754 import BINARY64, decode, encode
+from repro.core.reduction import reduce_binary64
+from repro.core.vector_unit import (
+    FormatPowerTable,
+    IssueStats,
+    VectorMultiplier,
+)
+from repro.eval.workloads import WorkloadGenerator
+
+
+def _pairs(n, fraction, seed=5):
+    return WorkloadGenerator(seed).mixed_binary64_stream(n, fraction)
+
+
+class TestScheduling:
+    def test_no_reduction_baseline(self):
+        pairs = _pairs(10, 1.0)
+        machine = VectorMultiplier(use_reduction=False)
+        result = machine.run(pairs)
+        assert result.stats.fp64_cycles == 10
+        assert result.stats.fp32_dual_cycles == 0
+        assert result.stats.demoted_operations == 0
+
+    def test_fully_reducible_pairs_two_per_cycle(self):
+        pairs = _pairs(10, 1.0)
+        machine = VectorMultiplier(use_reduction=True)
+        result = machine.run(pairs)
+        assert result.stats.demoted_operations == 10
+        assert result.stats.fp32_dual_cycles == 5
+        assert result.stats.fp32_single_cycles == 0
+        assert result.stats.fp64_cycles == 0
+
+    def test_odd_count_issues_single(self):
+        pairs = _pairs(7, 1.0)
+        result = VectorMultiplier().run(pairs)
+        assert result.stats.fp32_dual_cycles == 3
+        assert result.stats.fp32_single_cycles == 1
+
+    def test_mixed_stream_partitions(self):
+        pairs = _pairs(50, 0.5)
+        result = VectorMultiplier().run(pairs)
+        stats = result.stats
+        assert stats.total_operations == 50
+        assert stats.fp64_cycles + stats.demoted_operations == 50
+        assert stats.fp32_dual_cycles * 2 + stats.fp32_single_cycles \
+            == stats.demoted_operations
+
+    def test_empty_batch(self):
+        result = VectorMultiplier().run([])
+        assert result.products64 == []
+        assert result.stats.total_cycles == 0
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30)
+    def test_results_in_input_order(self, n, fraction):
+        pairs = _pairs(n, fraction)
+        result = VectorMultiplier().run(pairs)
+        assert len(result.products64) == n
+        for (xe, ye), out in zip(pairs, result.products64):
+            exact = decode(xe, BINARY64) * decode(ye, BINARY64)
+            got = decode(out, BINARY64)
+            assert got != 0
+            assert abs(got - exact) <= abs(exact) * 2.0 ** -23
+
+    def test_demoted_results_match_fp32_precision(self):
+        pairs = _pairs(4, 1.0)
+        result = VectorMultiplier().run(pairs)
+        for (xe, ye), out in zip(pairs, result.products64):
+            exact = decode(xe, BINARY64) * decode(ye, BINARY64)
+            got = decode(out, BINARY64)
+            assert abs(got - exact) <= abs(exact) * 2.0 ** -23
+
+    def test_range_guard_prevents_overflowing_demotion(self):
+        """Two large-but-reducible operands whose product overflows
+        binary32 must fall back to the fp64 path."""
+        big = BINARY64.pack(0, 1150, 0)     # reducible, e32 = 254
+        assert reduce_binary64(big).reduced
+        result = VectorMultiplier().run([(big, big)])
+        assert result.stats.fp64_cycles == 1
+        assert result.stats.demoted_operations == 0
+        exact = decode(big, BINARY64) ** 2
+        assert decode(result.products64[0], BINARY64) == exact
+
+
+class TestEnergyAccounting:
+    def test_paper_table_defaults(self):
+        table = FormatPowerTable()
+        assert table.fp64 == 7.20
+        assert table.fp32_dual == 5.17
+        # 7.2 mW for 10 ns = 72 pJ per fp64 cycle.
+        assert table.energy_per_cycle_pj("fp64") == pytest.approx(72.0)
+
+    def test_savings_formula(self):
+        stats = IssueStats(fp64_cycles=0, fp32_dual_cycles=5,
+                           total_operations=10)
+        table = FormatPowerTable()
+        # dual: 5 cycles * 51.7 pJ vs baseline 10 * 72 pJ.
+        assert stats.energy_pj(table) == pytest.approx(5 * 51.7)
+        assert stats.baseline_energy_pj(table) == pytest.approx(720.0)
+        assert stats.savings_fraction(table) == pytest.approx(
+            1 - (5 * 51.7) / 720.0)
+
+    def test_savings_increase_with_reducibility(self):
+        table = FormatPowerTable()
+        savings = []
+        for fraction in (0.0, 0.5, 1.0):
+            pairs = _pairs(40, fraction)
+            stats = VectorMultiplier().run(pairs).stats
+            savings.append(stats.savings_fraction(table))
+        assert savings[0] <= savings[1] <= savings[2]
+        assert savings[0] == pytest.approx(0.0)
+        assert savings[2] > 0.5   # dual fp32 is > 2x as efficient
+
+    def test_zero_operations(self):
+        stats = IssueStats()
+        assert stats.savings_fraction(FormatPowerTable()) == 0.0
