@@ -10,7 +10,7 @@ import os
 
 from repro.eval.experiments import PAPER, experiment_table3
 
-N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "16"))
+N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "64"))
 
 
 def test_bench_table3(benchmark, report_sink):

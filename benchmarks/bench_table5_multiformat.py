@@ -9,7 +9,7 @@ import os
 
 from repro.eval.experiments import experiment_table5
 
-N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "16"))
+N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "64"))
 
 
 def test_bench_table5(benchmark, report_sink):

@@ -25,6 +25,7 @@ from repro.bits.utils import (
     from_twos_complement,
     mask,
     ones_count,
+    popcount,
     to_twos_complement,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "from_twos_complement",
     "mask",
     "ones_count",
+    "popcount",
     "round_significand",
     "to_twos_complement",
 ]

@@ -40,11 +40,28 @@ def bit_length(value):
     return max(1, value.bit_length())
 
 
+if hasattr(int, "bit_count"):        # Python >= 3.10
+    def popcount(value):
+        """Population count of a non-negative integer.
+
+        Uses ``int.bit_count()`` where available (Python >= 3.10); the
+        simulators call this on multi-thousand-bit packed pattern words,
+        where it is ~10x faster than the ``bin(v).count("1")`` fallback.
+        """
+        if value < 0:
+            raise BitWidthError("popcount is defined for non-negative values")
+        return value.bit_count()
+else:                                # pragma: no cover - Python < 3.10
+    def popcount(value):
+        """Population count of a non-negative integer (portable fallback)."""
+        if value < 0:
+            raise BitWidthError("popcount is defined for non-negative values")
+        return bin(value).count("1")
+
+
 def ones_count(value):
-    """Population count of a non-negative integer."""
-    if value < 0:
-        raise BitWidthError("ones_count is defined for non-negative values")
-    return bin(value).count("1")
+    """Population count of a non-negative integer (alias of popcount)."""
+    return popcount(value)
 
 
 def to_twos_complement(value, width):

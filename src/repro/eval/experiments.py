@@ -7,11 +7,21 @@ paper-vs-measured report.  DESIGN.md's experiment index maps each to its
 benchmark entry point.
 
 Modules are built once and cached — netlist construction is a second or
-two each, and the benchmarks call these functions repeatedly.
+two each, and the benchmarks call these functions repeatedly.  The
+cache has two levels: an in-process ``lru_cache`` and an on-disk pickle
+cache under the repository's ``.cache/modules/`` keyed by the builder
+name and a fingerprint of the generator sources plus the cell library,
+so repeated benchmark *processes* skip netlist construction as well
+(``REPRO_MODULE_CACHE`` overrides the directory; ``0`` disables).
 """
 
 import functools
+import hashlib
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.arith.partial_products import (
@@ -56,9 +66,40 @@ PAPER = {
 }
 
 
+@functools.lru_cache(maxsize=1)
+def _source_fingerprint():
+    """Hash of every ``repro`` source file (and the default library).
+
+    Any source change invalidates the on-disk module cache — coarse,
+    but netlist construction depends on a wide slice of the package
+    and correctness beats cache hits.
+    """
+    digest = hashlib.sha256()
+    pkg_root = Path(__file__).resolve().parents[1]
+    for path in sorted(pkg_root.rglob("*.py")):
+        digest.update(str(path.relative_to(pkg_root)).encode())
+        digest.update(path.read_bytes())
+    digest.update(repr(default_library()).encode())
+    return digest.hexdigest()[:16]
+
+
+def _module_cache_dir():
+    """The on-disk module cache directory, or ``None`` when disabled."""
+    env = os.environ.get("REPRO_MODULE_CACHE")
+    if env == "0":
+        return None
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "modules"
+
+
 @functools.lru_cache(maxsize=None)
 def cached_module(which):
-    """Build-once cache for the experiment netlists."""
+    """Build-once cache for the experiment netlists.
+
+    Backed by the on-disk pickle cache described in the module
+    docstring; a corrupt or stale cache entry silently rebuilds.
+    """
     builders = {
         "r16": lambda: radix16_multiplier(),
         "r16_pipe": lambda: radix16_multiplier(pipeline_cut="after_ppgen"),
@@ -68,7 +109,26 @@ def cached_module(which):
         "mf": lambda: build_mf_multiplier(),
         "reducer": lambda: build_reducer(),
     }
-    return builders[which]()
+    builder = builders[which]
+    cache_dir = _module_cache_dir()
+    if cache_dir is None:
+        return builder()
+    path = cache_dir / f"{which}-{_source_fingerprint()}.pkl"
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        pass
+    module = builder()
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(module, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except Exception:
+        pass                    # caching is best-effort
+    return module
 
 
 # ----------------------------------------------------------------------
@@ -169,7 +229,7 @@ class Table3Result:
         return paper_vs_measured(rows, title="Table III: power at 100 MHz")
 
 
-def experiment_table3(n_cycles=16, seed=2017):
+def experiment_table3(n_cycles=64, seed=2017):
     """Table III: Monte Carlo power of both multipliers, both styles."""
     lib = default_library()
     results = {}
@@ -247,7 +307,7 @@ class Table5Result:
             rows, title="Table V: multi-format power and efficiency")
 
 
-def experiment_table5(n_cycles=16, seed=2017, issue_mhz=880.0):
+def experiment_table5(n_cycles=64, seed=2017, issue_mhz=880.0):
     """Table V: power per format on the pipelined multi-format unit.
 
     Throughput follows the paper: one operation per cycle (two for the

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.errors import PipelineError
+from repro.hdl.sim.toposort import topo_node_order
 
 
 @dataclass
@@ -45,7 +46,7 @@ def stage_map(module, strict=True):
     for reg in module.registers:
         reg_stage_of_q[reg.q] = reg.stage + 1
 
-    order = _topo_nodes(module)
+    order = topo_node_order(module, error=PipelineError)
     gate_stages = [0] * len(module.gates)
     for node in order:
         if node >= 0:
@@ -94,34 +95,3 @@ def pipeline_report(module, strict=True):
     )
 
 
-def _topo_nodes(module):
-    producers = {}
-    node_inputs = []
-    node_ids = []
-    for idx, gate in enumerate(module.gates):
-        producers[gate.output] = len(node_ids)
-        node_inputs.append(gate.inputs)
-        node_ids.append(idx)
-    for ridx, reg in enumerate(module.registers):
-        producers[reg.q] = len(node_ids)
-        node_inputs.append((reg.d,))
-        node_ids.append(-1 - ridx)
-    indegree = [0] * len(node_ids)
-    consumers = [[] for _ in range(len(node_ids))]
-    for node, nets in enumerate(node_inputs):
-        for net in nets:
-            if net in producers:
-                indegree[node] += 1
-                consumers[producers[net]].append(node)
-    ready = [i for i, d in enumerate(indegree) if d == 0]
-    order = []
-    while ready:
-        node = ready.pop()
-        order.append(node_ids[node])
-        for consumer in consumers[node]:
-            indegree[consumer] -= 1
-            if indegree[consumer] == 0:
-                ready.append(consumer)
-    if len(order) != len(node_ids):
-        raise PipelineError("netlist has a combinational cycle")
-    return order

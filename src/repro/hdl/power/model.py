@@ -34,6 +34,10 @@ class PowerReport:
     zero_delay_dynamic_mw: Optional[float] = None
     by_block_mw: Dict[str, float] = field(default_factory=dict)
     total_toggles: int = 0
+    #: Simulator perf counters from the Monte Carlo run that produced
+    #: this report (events processed, inertial cancellations, time-wheel
+    #: occupancy, worker count) — diagnostics only, no power semantics.
+    sim_stats: Optional[Dict[str, object]] = None
 
     @property
     def total_mw(self):
@@ -63,6 +67,7 @@ class PowerReport:
                                    else self.zero_delay_dynamic_mw * ratio),
             by_block_mw={k: v * ratio for k, v in self.by_block_mw.items()},
             total_toggles=self.total_toggles,
+            sim_stats=self.sim_stats,
         )
 
 

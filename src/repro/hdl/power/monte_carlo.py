@@ -14,9 +14,28 @@ module does exactly that against our netlists:
 ``glitch=False`` skips step 2 and charges only the zero-delay activity —
 the comparison between the two is the paper's combinational-vs-pipelined
 glitch argument made explicit.
+
+Performance machinery (all bit-identical to the straightforward serial
+replay):
+
+* the event simulator is **reused** across calls on the same
+  module/library pair (:func:`shared_event_simulator`) — its load map,
+  fanout lists, delays and compiled evaluation closures are built once;
+* the glitch replay (:meth:`EventSimulator.replay`) feeds the event
+  engine *delta* stimulus straight from the levelized run's packed
+  pattern words, and runs on the compiled C event kernel
+  (:mod:`repro.hdl.sim.ckernel`) whenever a system C compiler is
+  available;
+* ``workers=N`` shards the cycle sequence into contiguous windows
+  replayed by worker processes.  Each window seeds from the exact
+  levelized values at its first cycle — the event simulator's settled
+  state equals the zero-delay state, so windows are independent and the
+  per-net toggle counts merge deterministically by integer summation.
 """
 
-from typing import Dict, Optional
+import os
+import weakref
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.hdl.power.model import (
@@ -29,17 +48,54 @@ from repro.hdl.power.model import (
 from repro.hdl.sim.event import EventSimulator
 from repro.hdl.sim.levelized import LevelizedSimulator
 
+#: Retained (library, simulator) pairs per module — bounded so sweeps
+#: over many scaled libraries don't pin arbitrarily many simulators.
+_SIM_CACHE_PER_MODULE = 4
+
+_SIM_CACHE = weakref.WeakKeyDictionary()   # Module -> [(library, esim)]
+
+
+def shared_event_simulator(module, library):
+    """One :class:`EventSimulator` per (module, equal library), reused.
+
+    Constructing an event simulator recomputes the load map, fanout
+    lists and per-gate delays — pure functions of module + library — so
+    repeated ``estimate_power`` calls share one instance.  Matching is
+    by library *equality* (libraries are frozen dataclasses), so the
+    idiomatic ``default_library()``-per-call still hits the cache.
+    """
+    entries = _SIM_CACHE.setdefault(module, [])
+    for lib, esim in entries:
+        if lib == library:
+            return esim
+    esim = EventSimulator(module, library)
+    entries.append((library, esim))
+    if len(entries) > _SIM_CACHE_PER_MODULE:
+        entries.pop(0)
+    return esim
+
 
 def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
-                   glitch=True):
+                   glitch=True, workers=None):
     """Estimate average power over a stimulus sequence.
 
     ``stimulus`` maps input bus names to per-cycle word lists (as for
     :class:`LevelizedSimulator`).  At least two cycles are needed to
-    observe a transition.
+    observe a transition.  ``workers=N`` (opt-in; default serial, or
+    the ``REPRO_POWER_WORKERS`` environment variable) shards the glitch
+    replay over N processes with a deterministic merge — results are
+    identical to the serial run.
     """
     if n_cycles < 2:
         raise SimulationError("need at least two cycles to measure power")
+    if workers is None:
+        env = os.environ.get("REPRO_POWER_WORKERS", "0") or "0"
+        try:
+            workers = int(env)
+        except ValueError:
+            raise SimulationError(
+                f"REPRO_POWER_WORKERS must be an integer, got {env!r}"
+            ) from None
     sim = LevelizedSimulator(module)
     run = sim.run(stimulus, n_cycles)
 
@@ -50,10 +106,12 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
     zero_energy = sum(t * e for t, e in zip(zero_toggles, energies))
 
     if glitch:
-        event_toggles = _event_toggles(module, library, run, stimulus,
-                                       n_cycles)
+        event_toggles, sim_stats = _event_toggles(module, library, run,
+                                                  n_cycles, workers)
     else:
         event_toggles = zero_toggles
+        sim_stats = {"engine": "zero-delay", "transitions": n_cycles - 1,
+                     "workers": 1}
 
     # Effective switched energy: the functional transitions plus the
     # derated share of the extra (glitch) transitions (see
@@ -89,12 +147,120 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
         by_block_mw={k: toggles_to_power_mw(v, transitions, frequency_mhz)
                      for k, v in by_block_energy.items()},
         total_toggles=sum(toggles),
+        sim_stats=sim_stats,
     )
 
 
-def _event_toggles(module, library, run, stimulus, n_cycles):
+# ----------------------------------------------------------------------
+# glitch replay
+# ----------------------------------------------------------------------
+
+def _replay(esim, packed_values, t_first, t_last):
+    """Replay transitions ``t_first..t_last`` (inclusive).
+
+    ``packed_values`` are the levelized run's per-net pattern words
+    (bit ``t`` = value in cycle ``t``).  Returns per-net toggle totals
+    and the replay's perf counters.
+    """
+    totals = [0] * esim.module.n_nets
+    counts = esim.replay(packed_values, t_first, t_last,
+                         toggles_out=totals)
+    stats = {"engine": esim.engine, "kernel": esim.kernel,
+             "transitions": t_last - t_first + 1,
+             "events_processed": counts.events_processed,
+             "cancellations": counts.cancelled,
+             "wheel_buckets": counts.wheel_buckets,
+             "wheel_max_bucket": counts.wheel_max_bucket}
+    return totals, stats
+
+
+def _event_toggles(module, library, run, n_cycles, workers=0):
     """Glitch-aware toggle counts accumulated over all cycle transitions."""
-    esim = EventSimulator(module, library)
+    transitions = n_cycles - 1
+    if workers and workers > 1 and transitions > 1:
+        return _event_toggles_sharded(module, library, run.values,
+                                      n_cycles, workers)
+    esim = shared_event_simulator(module, library)
+    totals, stats = _replay(esim, run.values, 1, transitions)
+    stats["workers"] = 1
+    return totals, stats
+
+
+def _event_toggles_sharded(module, library, packed_values, n_cycles,
+                           workers):
+    """Shard the transition sequence over worker processes.
+
+    Windows overlap by one cycle: a worker seeds every net from the
+    levelized values of the cycle before its first transition and
+    replays its window, so concatenating the windows reproduces the
+    serial replay transition for transition.
+    """
+    import concurrent.futures
+    import multiprocessing
+
+    transitions = n_cycles - 1
+    workers = min(workers, transitions)
+    base, extra = divmod(transitions, workers)
+    windows = []
+    t = 1
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        windows.append((t, t + size - 1))
+        t += size
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:                        # pragma: no cover - non-POSIX
+        ctx = multiprocessing.get_context()
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx,
+            initializer=_shard_init,
+            initargs=(module, library, packed_values)) as pool:
+        results = list(pool.map(_shard_run, windows))
+
+    totals = [0] * module.n_nets
+    merged = {"engine": "wheel", "kernel": "python", "transitions": 0,
+              "events_processed": 0, "cancellations": 0,
+              "wheel_buckets": 0, "wheel_max_bucket": 0}
+    for window_totals, stats in results:
+        merged["kernel"] = stats["kernel"]
+        for net, c in enumerate(window_totals):
+            if c:
+                totals[net] += c
+        for key in ("transitions", "events_processed", "cancellations",
+                    "wheel_buckets"):
+            merged[key] += stats[key]
+        if stats["wheel_max_bucket"] > merged["wheel_max_bucket"]:
+            merged["wheel_max_bucket"] = stats["wheel_max_bucket"]
+    merged["workers"] = workers
+    return totals, merged
+
+
+_SHARD_STATE: Dict[str, object] = {}
+
+
+def _shard_init(module, library, packed_values):
+    _SHARD_STATE["esim"] = EventSimulator(module, library)
+    _SHARD_STATE["packed_values"] = packed_values
+
+
+def _shard_run(window):
+    t_first, t_last = window
+    return _replay(_SHARD_STATE["esim"], _SHARD_STATE["packed_values"],
+                   t_first, t_last)
+
+
+# ----------------------------------------------------------------------
+# reference implementation (seed algorithm)
+# ----------------------------------------------------------------------
+
+def _event_toggles_legacy(module, library, run, stimulus, n_cycles):
+    """The seed's replay: fresh heapq simulator, full per-cycle dicts.
+
+    Kept verbatim as the independent reference for the equivalence
+    tests and the before/after engine benchmark; not used by
+    :func:`estimate_power`.
+    """
+    esim = EventSimulator(module, library, engine="heap")
     totals = [0] * module.n_nets
 
     def cycle_stimulus(t):

@@ -10,14 +10,27 @@ cycle later, exactly the behaviour of a flip-flop bank in a feed-forward
 pipeline (cycle ``t`` sees the previous cycle's ``d``).  Pattern ``t``
 of a primary input is therefore the word applied at cycle ``t``, and an
 ``L``-stage unit's outputs line up with inputs ``L - 1`` cycles earlier.
+
+Two evaluation kernels exist:
+
+* the default **compiled** kernel (see :mod:`repro.hdl.sim.compile`)
+  runs straight-line generated code — one statement per gate — and is
+  what every hot path uses;
+* the historic **interpreted** kernel (``compiled=False``) dispatches
+  through ``cell_eval`` per gate; it is kept as the independent
+  reference implementation the equivalence tests compare against.
+
+Both produce bit-identical values.
 """
 
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.bits.utils import mask
+from repro.bits.utils import mask, popcount
 from repro.errors import SimulationError
 from repro.hdl.cell import cell_eval
+from repro.hdl.sim.compile import compiled_module
+from repro.hdl.sim.toposort import topo_node_order
 
 
 @dataclass
@@ -40,15 +53,17 @@ class SimRun:
     def toggles_per_net(self):
         """Zero-delay toggle count of every net across consecutive patterns."""
         m = mask(self.n_patterns - 1) if self.n_patterns > 1 else 0
-        return [bin((v ^ (v >> 1)) & m).count("1") for v in self.values]
+        return [popcount((v ^ (v >> 1)) & m) for v in self.values]
 
 
 class LevelizedSimulator:
     """Topologically ordered bit-parallel evaluator for one module."""
 
-    def __init__(self, module):
+    def __init__(self, module, compiled=True):
         self.module = module
-        self._order = self._topo_order()
+        self._kernel = compiled_module(module) if compiled else None
+        self._order = (self._kernel.order if self._kernel is not None
+                       else topo_node_order(module))
 
     def run(self, stimulus, n_patterns):
         """Simulate ``n_patterns`` patterns.
@@ -74,8 +89,16 @@ class LevelizedSimulator:
         for net, cval in module.constants.items():
             values[net] = m if cval else 0
 
-        gates = module.gates
-        registers = module.registers
+        if self._kernel is not None:
+            self._kernel.run_levelized(values, m)
+        else:
+            self._run_interpreted(values, m)
+        return SimRun(n_patterns=n_patterns, values=values)
+
+    def _run_interpreted(self, values, m):
+        """Per-gate ``cell_eval`` dispatch — the reference kernel."""
+        gates = self.module.gates
+        registers = self.module.registers
         for node in self._order:
             if node >= 0:
                 gate = gates[node]
@@ -96,39 +119,3 @@ class LevelizedSimulator:
             else:
                 reg = registers[-node - 1]
                 values[reg.q] = (values[reg.d] << 1) & m
-        return SimRun(n_patterns=n_patterns, values=values)
-
-    def _topo_order(self):
-        """Gate indices (>= 0) and register indices (-1 - r), evaluation order."""
-        module = self.module
-        producers = {}
-        node_inputs = []
-        node_ids = []
-        for idx, gate in enumerate(module.gates):
-            producers[gate.output] = len(node_ids)
-            node_inputs.append(gate.inputs)
-            node_ids.append(idx)
-        for ridx, reg in enumerate(module.registers):
-            producers[reg.q] = len(node_ids)
-            node_inputs.append((reg.d,))
-            node_ids.append(-1 - ridx)
-
-        indegree = [0] * len(node_ids)
-        consumers = [[] for _ in range(len(node_ids))]
-        for node, nets in enumerate(node_inputs):
-            for net in nets:
-                if net in producers:
-                    indegree[node] += 1
-                    consumers[producers[net]].append(node)
-        ready = [n for n, d in enumerate(indegree) if d == 0]
-        order = []
-        while ready:
-            node = ready.pop()
-            order.append(node_ids[node])
-            for consumer in consumers[node]:
-                indegree[consumer] -= 1
-                if indegree[consumer] == 0:
-                    ready.append(consumer)
-        if len(order) != len(node_ids):
-            raise SimulationError("netlist has a combinational cycle")
-        return order

@@ -1,0 +1,91 @@
+"""Shared Kahn topological ordering over netlist nodes.
+
+Every consumer of a :class:`~repro.hdl.module.Module` that needs an
+evaluation order — the levelized simulator, the event simulator's
+zero-delay settle, static timing, pipeline staging, validation — used to
+carry its own copy of Kahn's algorithm.  They all live here now, in two
+flavours:
+
+* :func:`topo_gate_order` — combinational gates only; register outputs
+  (and primary inputs / constants) are treated as sources.
+* :func:`topo_node_order` — gates *and* registers; register nodes are
+  encoded as ``-1 - register_index`` so a single signed list carries
+  both (the levelized simulator's register-as-time-shift model needs
+  registers in the order too).
+
+Ordering is deterministic: ties are broken LIFO exactly as the historic
+per-module copies did, so evaluation orders (and therefore any
+order-sensitive float accumulation downstream) are unchanged.
+"""
+
+from repro.errors import SimulationError
+
+
+def topo_gate_order(module, error=SimulationError):
+    """Indices of ``module.gates`` in dependency order.
+
+    Register q nets are *not* produced by any node here, so feedback
+    through registers is allowed; a combinational cycle raises
+    ``error``.
+    """
+    gates = module.gates
+    producers = {}
+    for idx, gate in enumerate(gates):
+        producers[gate.output] = idx
+    indegree = [0] * len(gates)
+    consumers = [[] for _ in range(len(gates))]
+    for idx, gate in enumerate(gates):
+        for net in gate.inputs:
+            if net in producers:
+                indegree[idx] += 1
+                consumers[producers[net]].append(idx)
+    order = _kahn(indegree, consumers)
+    if len(order) != len(gates):
+        raise error("netlist has a combinational cycle")
+    return order
+
+
+def topo_node_order(module, error=SimulationError):
+    """Gate indices (``>= 0``) and register codes (``-1 - ridx``), ordered.
+
+    Registers participate as nodes with a d -> q edge, so the result is
+    an evaluation order for the *fully acyclic* view the feed-forward
+    pipelines here require; any cycle (even one through a register)
+    raises ``error``.
+    """
+    producers = {}
+    node_inputs = []
+    node_ids = []
+    for idx, gate in enumerate(module.gates):
+        producers[gate.output] = len(node_ids)
+        node_inputs.append(gate.inputs)
+        node_ids.append(idx)
+    for ridx, reg in enumerate(module.registers):
+        producers[reg.q] = len(node_ids)
+        node_inputs.append((reg.d,))
+        node_ids.append(-1 - ridx)
+
+    indegree = [0] * len(node_ids)
+    consumers = [[] for _ in range(len(node_ids))]
+    for node, nets in enumerate(node_inputs):
+        for net in nets:
+            if net in producers:
+                indegree[node] += 1
+                consumers[producers[net]].append(node)
+    order = _kahn(indegree, consumers)
+    if len(order) != len(node_ids):
+        raise error("netlist has a combinational cycle")
+    return [node_ids[node] for node in order]
+
+
+def _kahn(indegree, consumers):
+    ready = [node for node, deg in enumerate(indegree) if deg == 0]
+    order = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for consumer in consumers[node]:
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    return order

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.hdl.library import FO4_PS
+from repro.hdl.sim.toposort import topo_gate_order
 
 
 @dataclass(frozen=True)
@@ -82,7 +83,7 @@ def analyze(module, library):
     arrival = [0.0] * module.n_nets
     from_gate: List[Optional[int]] = [None] * module.n_nets
 
-    order = _topo_gate_order(module)
+    order = topo_gate_order(module)
     gates = module.gates
     for idx in order:
         gate = gates[idx]
@@ -166,28 +167,3 @@ def critical_path_breakdown(module, library, stage=None, blocks=None):
     return [PathSegment(block=tag, delay_ps=contrib[tag][0],
                         gates=contrib[tag][1])
             for tag in ordered if tag in contrib]
-
-
-def _topo_gate_order(module):
-    producers = {}
-    for idx, gate in enumerate(module.gates):
-        producers[gate.output] = idx
-    indegree = [0] * len(module.gates)
-    consumers = [[] for _ in range(len(module.gates))]
-    for idx, gate in enumerate(module.gates):
-        for net in gate.inputs:
-            if net in producers:
-                indegree[idx] += 1
-                consumers[producers[net]].append(idx)
-    ready = [i for i, d in enumerate(indegree) if d == 0]
-    order = []
-    while ready:
-        idx = ready.pop()
-        order.append(idx)
-        for consumer in consumers[idx]:
-            indegree[consumer] -= 1
-            if indegree[consumer] == 0:
-                ready.append(consumer)
-    if len(order) != len(module.gates):
-        raise SimulationError("netlist has a combinational cycle")
-    return order

@@ -8,6 +8,7 @@ mysterious simulation results.
 """
 
 from repro.errors import NetlistError
+from repro.hdl.sim.toposort import topo_node_order
 
 
 def validate(module):
@@ -50,38 +51,5 @@ def _check_single_drivers(module):
 
 
 def _check_acyclic(module):
-    # Kahn's algorithm over gate+register nodes.
-    n = module.n_nets
-    producers = {}          # net -> node id
-    node_inputs = []        # node id -> list of nets
-    for idx, gate in enumerate(module.gates):
-        producers[gate.output] = idx
-        node_inputs.append(list(gate.inputs))
-    reg_base = len(module.gates)
-    for ridx, reg in enumerate(module.registers):
-        producers[reg.q] = reg_base + ridx
-        node_inputs.append([reg.d])
-
-    indegree = [0] * len(node_inputs)
-    consumers = {}
-    for node, nets in enumerate(node_inputs):
-        for net in nets:
-            if net in producers:
-                indegree[node] += 1
-                consumers.setdefault(net, []).append(node)
-
-    ready = [node for node, deg in enumerate(indegree) if deg == 0]
-    seen = 0
-    while ready:
-        node = ready.pop()
-        seen += 1
-        out_net = (module.gates[node].output if node < reg_base
-                   else module.registers[node - reg_base].q)
-        for consumer in consumers.get(out_net, ()):
-            indegree[consumer] -= 1
-            if indegree[consumer] == 0:
-                ready.append(consumer)
-    if seen != len(node_inputs):
-        raise NetlistError(
-            f"combinational cycle: {len(node_inputs) - seen} nodes unresolved"
-        )
+    # Kahn's algorithm over gate+register nodes (the shared copy).
+    topo_node_order(module, error=NetlistError)

@@ -10,6 +10,7 @@ from repro.bits.utils import (
     from_twos_complement,
     mask,
     ones_count,
+    popcount,
     to_twos_complement,
 )
 from repro.errors import BitWidthError
@@ -79,6 +80,24 @@ class TestOnesCount:
     @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
     def test_matches_bin(self, value):
         assert ones_count(value) == bin(value).count("1")
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_multiword(self):
+        # The simulators call this on multi-thousand-bit packed words.
+        value = (mask(3000) ^ (mask(1000) << 500))
+        assert popcount(value) == 2000
+
+    @given(st.integers(min_value=0, max_value=(1 << 4096) - 1))
+    def test_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitWidthError):
+            popcount(-1)
 
 
 class TestTwosComplement:
