@@ -9,17 +9,12 @@
 Every design point is functionally verified before being measured.
 """
 
-from repro.eval.sweep import (
-    sweep_cpa_style,
-    sweep_pipeline_cut,
-    sweep_radix,
-    sweep_specialization,
-    sweep_tree_style,
-)
+from repro.eval.orchestrator import run_experiment
 
 
 def test_bench_ablation_radix(benchmark, report_sink):
-    result = benchmark.pedantic(sweep_radix, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("sweep_radix",),
+                                rounds=1, iterations=1)
     report_sink("ablation_radix", result.render())
     by_label = {p.label: p for p in result.points}
     # The paper's reading: radix-8 needs the pre-computation like
@@ -30,7 +25,8 @@ def test_bench_ablation_radix(benchmark, report_sink):
 
 
 def test_bench_ablation_cpa(benchmark, report_sink):
-    result = benchmark.pedantic(sweep_cpa_style, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("sweep_cpa",),
+                                rounds=1, iterations=1)
     report_sink("ablation_cpa", result.render())
     by_label = {p.label: p for p in result.points}
     assert by_label["cpa=kogge_stone"].latency_ps \
@@ -40,7 +36,8 @@ def test_bench_ablation_cpa(benchmark, report_sink):
 
 
 def test_bench_ablation_pipeline_cut(benchmark, report_sink):
-    result = benchmark.pedantic(sweep_pipeline_cut, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("sweep_pipeline_cut",), rounds=1, iterations=1)
     report_sink("ablation_pipeline_cut", result.render())
     by_label = {p.label: p for p in result.points}
     comb = by_label["cut=None"]
@@ -54,14 +51,16 @@ def test_bench_ablation_pipeline_cut(benchmark, report_sink):
 
 
 def test_bench_ablation_tree(benchmark, report_sink):
-    result = benchmark.pedantic(sweep_tree_style, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("sweep_tree",),
+                                rounds=1, iterations=1)
     report_sink("ablation_tree", result.render())
     assert len(result.points) == 4
 
 
 def test_bench_ablation_specialization(benchmark, report_sink):
-    result = benchmark.pedantic(sweep_specialization, rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("sweep_specialization",), rounds=1,
+        iterations=1)
     report_sink("ablation_specialization", result.render())
     by_label = {p.label: p for p in result.points}
     full = by_label["multi-format"]

@@ -8,14 +8,14 @@ power on the multi-format unit.
 
 import os
 
-from repro.eval.activity import experiment_activity
+from repro.eval.orchestrator import run_experiment
 
 N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "16"))
 
 
 def test_bench_activity(benchmark, report_sink):
     result = benchmark.pedantic(
-        experiment_activity, kwargs={"n_cycles": N_CYCLES},
+        run_experiment, args=("activity",), kwargs={"n_cycles": N_CYCLES},
         rounds=1, iterations=1)
     report_sink("activity_decomposition", result.render())
 

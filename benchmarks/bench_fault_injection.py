@@ -6,64 +6,31 @@ often the repository's co-simulation batteries detect them.  Survivors
 are dominated by *equivalent mutants*: an OR in a one-hot select tree
 is equivalent to XOR, and a prefix adder's ``g | (p & x)`` node is
 XOR-equivalent because ``g`` and ``p`` are mutually exclusive.
+
+Both campaigns now run through the orchestrator, which shards the
+mutation budget into deterministically seeded chunks (see
+:func:`repro.eval.fault_injection.chunk_plan`) so the serial and
+parallel runs produce identical coverage figures.
 """
 
-import random
-
-from repro.bits.ieee754 import BINARY32, BINARY64
-from repro.core.formats import MFFormat, OperandBundle
-from repro.eval.experiments import cached_module
-from repro.eval.fault_injection import (
-    mf_unit_checker,
-    multiplier_checker,
-    mutation_coverage,
-)
-
-
-def _mf_operations(rng, n=12):
-    ops = []
-    for i in range(n):
-        pick = i % 3
-        if pick == 0:
-            ops.append((OperandBundle.int64(rng.getrandbits(64),
-                                            rng.getrandbits(64)),
-                        MFFormat.INT64))
-        elif pick == 1:
-            ops.append((OperandBundle.fp64(
-                BINARY64.pack(0, rng.randint(1, 2046), rng.getrandbits(52)),
-                BINARY64.pack(0, rng.randint(1, 2046),
-                              rng.getrandbits(52))), MFFormat.FP64))
-        else:
-            ops.append((OperandBundle.fp32_pair(
-                *[BINARY32.pack(0, rng.randint(1, 254),
-                                rng.getrandbits(23)) for __ in range(4)]),
-                MFFormat.FP32X2))
-    return ops
+from repro.eval.orchestrator import run_experiment
 
 
 def test_bench_mutation_coverage_multiplier(benchmark, report_sink):
-    rng = random.Random(1)
-    cases = [(rng.getrandbits(64), rng.getrandbits(64)) for __ in range(16)]
-    module = cached_module("r16")
-
-    def campaign():
-        return mutation_coverage(module, multiplier_checker(cases),
-                                 n_mutations=60, seed=7)
-
-    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fault_r16",),
+        kwargs={"n_mutations": 60, "seed": 7},
+        rounds=1, iterations=1)
     report_sink("fault_injection_r16", result.render())
+    assert result.attempted == 60
     assert result.coverage >= 0.8
 
 
 def test_bench_mutation_coverage_mf_unit(benchmark, report_sink):
-    rng = random.Random(2)
-    ops = _mf_operations(rng)
-    module = cached_module("mf")
-
-    def campaign():
-        return mutation_coverage(module, mf_unit_checker(ops),
-                                 n_mutations=40, seed=8)
-
-    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fault_mf",),
+        kwargs={"n_mutations": 40, "seed": 8},
+        rounds=1, iterations=1)
     report_sink("fault_injection_mf", result.render())
+    assert result.attempted == 40
     assert result.coverage >= 0.6   # mode-gated logic needs specific data

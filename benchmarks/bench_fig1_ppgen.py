@@ -5,12 +5,12 @@ multiple CPAs, the one-hot selection muxes and the negation XOR row.
 The benchmark times building + analyzing the PPGEN-bearing netlist.
 """
 
-from repro.eval.experiments import experiment_fig1_ppgen
+from repro.eval.orchestrator import run_experiment
 
 
 def test_bench_fig1(benchmark, report_sink):
-    result = benchmark.pedantic(experiment_fig1_ppgen, rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("fig1",),
+                                rounds=1, iterations=1)
     report_sink("fig1_ppgen", result.render())
     rows = dict(result.rows)
     assert rows["partial products (rows)"] == 17

@@ -6,7 +6,8 @@ Block inventory plus a functional spot-run: the benchmark times a
 
 import random
 
-from repro.eval.experiments import cached_module, experiment_fig2_multiplier
+from repro.eval.experiments import cached_module
+from repro.eval.orchestrator import run_experiment
 from repro.hdl.sim.levelized import LevelizedSimulator
 
 
@@ -25,7 +26,7 @@ def _simulate_corners():
 
 
 def test_bench_fig2(benchmark, report_sink):
-    result = experiment_fig2_multiplier()
+    result = run_experiment("fig2")
     checked = benchmark.pedantic(_simulate_corners, rounds=1, iterations=1)
     report_sink("fig2_multiplier",
                 result.render() + f"\nfunctional corner patterns: {checked}")

@@ -5,12 +5,12 @@ validates against exact injection rounding, with special attention to
 the renormalization window where low-path rounding overflows.
 """
 
-from repro.eval.experiments import experiment_fig3_normround
+from repro.eval.orchestrator import run_experiment
 
 
 def test_bench_fig3(benchmark, report_sink):
     result = benchmark.pedantic(
-        experiment_fig3_normround, kwargs={"samples": 5000},
+        run_experiment, args=("fig3",), kwargs={"samples": 5000},
         rounds=1, iterations=1)
     report_sink("fig3_normround", result.render())
     rows = dict(result.rows)

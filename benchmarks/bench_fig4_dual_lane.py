@@ -12,7 +12,7 @@ from repro.circuits.multiples import build_multiples
 from repro.circuits.ppgen import build_mf_pp_columns
 from repro.circuits.primitives import GateBuilder
 from repro.circuits.recoder import build_recoder
-from repro.eval.experiments import experiment_fig4_dual_lane
+from repro.eval.orchestrator import run_experiment
 from repro.hdl.module import Module
 from repro.hdl.sim.levelized import LevelizedSimulator
 
@@ -49,7 +49,7 @@ def _lane_isolation_check(n_cases=48):
 
 
 def test_bench_fig4(benchmark, report_sink):
-    result = experiment_fig4_dual_lane()
+    result = run_experiment("fig4")
     checked = benchmark.pedantic(_lane_isolation_check, rounds=1,
                                  iterations=1)
     report_sink("fig4_dual_lane",

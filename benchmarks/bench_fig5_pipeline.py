@@ -11,7 +11,8 @@ from repro.bits.ieee754 import BINARY32, BINARY64
 from repro.core.formats import MFFormat, OperandBundle
 from repro.core.mfmult import MFMult
 from repro.core.pipeline_unit import MFMultUnit
-from repro.eval.experiments import cached_module, experiment_fig5_pipeline
+from repro.eval.experiments import cached_module
+from repro.eval.orchestrator import run_experiment
 
 
 def _mixed_batch(n=30):
@@ -43,7 +44,7 @@ def _mixed_batch(n=30):
 
 
 def test_bench_fig5(benchmark, report_sink):
-    result = experiment_fig5_pipeline()
+    result = run_experiment("fig5")
     checked = benchmark.pedantic(_mixed_batch, rounds=1, iterations=1)
     report_sink("fig5_pipeline",
                 result.render()

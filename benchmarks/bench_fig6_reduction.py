@@ -7,7 +7,8 @@ mux), circuit-vs-algorithm co-simulation, and reducibility statistics.
 import random
 
 from repro.core.reduction import reduce_binary64
-from repro.eval.experiments import cached_module, experiment_fig6_reduction
+from repro.eval.experiments import cached_module
+from repro.eval.orchestrator import run_experiment
 from repro.hdl.sim.levelized import LevelizedSimulator
 
 
@@ -29,7 +30,7 @@ def _cosimulate(n=512):
 
 
 def test_bench_fig6(benchmark, report_sink):
-    result = experiment_fig6_reduction(n_random=20000)
+    result = run_experiment("fig6", n_random=20000)
     checked = benchmark.pedantic(_cosimulate, rounds=1, iterations=1)
     report_sink("fig6_reduction",
                 result.render() + f"\ncircuit co-simulations: {checked}")

@@ -1,0 +1,83 @@
+"""The one-command report pipeline: serial vs parallel vs warm cache.
+
+Races three full-report generations through the orchestrator —
+
+* **serial cold**: ``workers=1`` against a fresh result cache,
+* **parallel cold**: ``workers=4`` against another fresh cache,
+* **warm**: ``workers=4`` again, reusing the parallel run's cache —
+
+and asserts the three rendered reports are *byte-identical* (the
+orchestrator's determinism contract) while recording the speedups in
+``BENCH_report_pipeline.json``.  The warm rerun must be at least an
+order of magnitude faster than any cold run; the parallel-vs-serial
+speedup is asserted only on machines that actually have the cores
+(``os.cpu_count() >= 4`` — on smaller boxes the numbers are still
+recorded, honestly, without the gate).
+"""
+
+import json
+import os
+import time
+
+from repro.eval.orchestrator import ResultCache
+from repro.eval.report import generate_report
+
+N_CYCLES = int(os.environ.get("REPRO_REPORT_BENCH_CYCLES", "6"))
+MUTATIONS = int(os.environ.get("REPRO_REPORT_BENCH_MUTATIONS", "8"))
+PARALLEL_WORKERS = 4
+
+_RESULTS_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_report_pipeline.json")
+
+
+def _one_run(tmp_path, tag, workers, cache_root):
+    cache = ResultCache(root=str(cache_root))
+    metrics = {}
+    t0 = time.perf_counter()
+    text = generate_report(
+        n_cycles=N_CYCLES, out_path=str(tmp_path / f"report_{tag}.txt"),
+        include_sweeps=True, include_verification=True,
+        mutations=MUTATIONS, workers=workers, cache=cache,
+        metrics=metrics)
+    seconds = time.perf_counter() - t0
+    return {"tag": tag, "workers": workers, "seconds": seconds,
+            "n_jobs": metrics["n_jobs"], "cache_hits": metrics["cache_hits"],
+            "text": text}
+
+
+def test_bench_report_pipeline(benchmark, report_sink, tmp_path):
+    serial = _one_run(tmp_path, "serial_cold", 1, tmp_path / "cache_serial")
+    parallel = _one_run(tmp_path, "parallel_cold", PARALLEL_WORKERS,
+                        tmp_path / "cache_parallel")
+
+    # The timed leg: the warm rerun over the parallel run's cache.
+    warm = benchmark.pedantic(
+        _one_run, args=(tmp_path, "warm", PARALLEL_WORKERS,
+                        tmp_path / "cache_parallel"),
+        rounds=1, iterations=1)
+
+    # Determinism contract: all three modes render the same bytes.
+    assert parallel["text"] == serial["text"]
+    assert warm["text"] == serial["text"]
+    assert warm["cache_hits"] >= 1
+
+    warm_speedup = serial["seconds"] / max(warm["seconds"], 1e-9)
+    parallel_speedup = serial["seconds"] / max(parallel["seconds"], 1e-9)
+    record = {
+        "n_cycles": N_CYCLES,
+        "mutations": MUTATIONS,
+        "cpu_count": os.cpu_count(),
+        "runs": [{k: v for k, v in run.items() if k != "text"}
+                 for run in (serial, parallel, warm)],
+        "parallel_speedup_vs_serial": round(parallel_speedup, 3),
+        "warm_speedup_vs_serial_cold": round(warm_speedup, 3),
+    }
+    with open(_RESULTS_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    report_sink("report_pipeline", json.dumps(record, indent=2))
+
+    assert warm_speedup >= 10.0
+    # The parallel gate needs real cores; smaller boxes only record it.
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_speedup >= 3.0

@@ -7,23 +7,20 @@ ones — the savings trend must hold under both.
 
 import os
 
-from repro.core.vector_unit import FormatPowerTable
-from repro.eval.experiments import (
-    experiment_section4_savings,
-    experiment_table5,
-)
+from repro.eval.orchestrator import run_experiment
 
 N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "16"))
 
 
 def test_bench_section4(benchmark, report_sink):
     with_paper_prices = benchmark.pedantic(
-        experiment_section4_savings, kwargs={"n_ops": 400},
+        run_experiment, args=("section4",), kwargs={"n_ops": 400},
         rounds=1, iterations=1)
 
-    measured_table = experiment_table5(n_cycles=N_CYCLES).power_table()
-    with_measured_prices = experiment_section4_savings(
-        n_ops=400, power_table=measured_table)
+    measured_table = run_experiment(
+        "table5", n_cycles=N_CYCLES).power_table()
+    with_measured_prices = run_experiment(
+        "section4", n_ops=400, power_table=measured_table)
 
     text = (with_paper_prices.render()
             .replace("(measured per-format power)",

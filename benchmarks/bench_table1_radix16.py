@@ -5,11 +5,13 @@ ps and FO4, area in um^2 and K NAND2) from STA and area accounting on
 the structural netlist.  The benchmark times the full analysis flow.
 """
 
-from repro.eval.experiments import PAPER, experiment_table1
+from repro.eval.experiments import PAPER
+from repro.eval.orchestrator import run_experiment
 
 
 def test_bench_table1(benchmark, report_sink):
-    result = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("table1",),
+                                rounds=1, iterations=1)
     report_sink("table1_radix16", result.render())
 
     paper = PAPER["table1"]

@@ -4,14 +4,16 @@ Also checks the paper's comparative claims against Table I: the radix-4
 unit is faster (paper: ~20%) with a substantially larger reduction tree.
 """
 
-from repro.eval.experiments import PAPER, experiment_table1, experiment_table2
+from repro.eval.experiments import PAPER
+from repro.eval.orchestrator import run_experiment
 
 
 def test_bench_table2(benchmark, report_sink):
-    result = benchmark.pedantic(experiment_table2, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("table2",),
+                                rounds=1, iterations=1)
     report_sink("table2_radix4", result.render())
 
-    r16 = experiment_table1()
+    r16 = run_experiment("table1")
     # Comparative claims of Sec. II-A.
     assert result.latency_ps < r16.latency_ps
     assert 0.70 < result.latency_ps / r16.latency_ps < 0.98

@@ -8,14 +8,15 @@ event-driven simulation.
 
 import os
 
-from repro.eval.experiments import PAPER, experiment_table3
+from repro.eval.experiments import PAPER
+from repro.eval.orchestrator import run_experiment
 
 N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "64"))
 
 
 def test_bench_table3(benchmark, report_sink):
     result = benchmark.pedantic(
-        experiment_table3, kwargs={"n_cycles": N_CYCLES},
+        run_experiment, args=("table3",), kwargs={"n_cycles": N_CYCLES},
         rounds=1, iterations=1)
     report_sink("table3_power", result.render())
 

@@ -4,7 +4,7 @@ A constants table — the benchmark asserts our codec layer derives every
 entry of the paper's Table IV rather than hard-coding it.
 """
 
-from repro.eval.experiments import experiment_table4
+from repro.eval.orchestrator import run_experiment
 
 EXPECTED = {
     "storage (bits)": (16, 32, 64, 128),
@@ -17,7 +17,8 @@ EXPECTED = {
 
 
 def test_bench_table4(benchmark, report_sink):
-    result = benchmark.pedantic(experiment_table4, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, args=("table4",),
+                                rounds=1, iterations=1)
     report_sink("table4_formats", result.render())
     rows = {r[0]: tuple(r[1:]) for r in result.rows}
     assert rows == EXPECTED

@@ -7,14 +7,14 @@ dual binary32 mode at roughly 2.8x the binary64 figure.
 
 import os
 
-from repro.eval.experiments import experiment_table5
+from repro.eval.orchestrator import run_experiment
 
 N_CYCLES = int(os.environ.get("REPRO_POWER_CYCLES", "64"))
 
 
 def test_bench_table5(benchmark, report_sink):
     result = benchmark.pedantic(
-        experiment_table5, kwargs={"n_cycles": N_CYCLES},
+        run_experiment, args=("table5",), kwargs={"n_cycles": N_CYCLES},
         rounds=1, iterations=1)
     text = result.render() + (
         f"\nmeasured max clock: {result.max_freq_mhz:.0f} MHz "

@@ -44,6 +44,9 @@ def main(argv=None):
     parser.add_argument("--cycles", type=int, default=16,
                         help="Monte Carlo cycles for the power "
                              "experiments (default 16)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="for 'report': worker processes for the "
+                             "experiment job graph (default serial)")
     parser.add_argument("--output", default=None,
                         help="for 'report': write the markdown report "
                              "to this path")
@@ -52,10 +55,13 @@ def main(argv=None):
     if args.targets and args.targets[0] == "export-verilog":
         return _export_verilog(args.targets[1:])
     if args.targets and args.targets[0] == "report":
+        # The full orchestrated CLI lives at ``python -m repro.eval.report``;
+        # this short form keeps the historic sections and defaults.
         from repro.eval.report import generate_report
 
         text = generate_report(n_cycles=args.cycles,
-                               out_path=args.output)
+                               out_path=args.output,
+                               workers=args.workers)
         if args.output:
             print(f"wrote report to {args.output}")
         else:

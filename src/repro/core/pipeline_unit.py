@@ -543,16 +543,17 @@ class MFMultUnit:
         ys += [ys[-1]] * LATENCY
         fs += [fs[-1]] * LATENCY
         run = self._sim.run({"x": xs, "y": ys, "frmt": fs}, n)
+        ph_words = run.bus_words(self.module.outputs["ph"])
+        pl_words = run.bus_words(self.module.outputs["pl"])
+        reduced_words = (run.bus_words(self.module.outputs["reduced"])
+                         if self.has_reducer else None)
         results = []
         for t in range(len(operations)):
-            reduced = None
-            if self.has_reducer:
-                reduced = run.bus_word(self.module.outputs["reduced"],
-                                       t + LATENCY)
             results.append(UnitResult(
-                ph=run.bus_word(self.module.outputs["ph"], t + LATENCY),
-                pl=run.bus_word(self.module.outputs["pl"], t + LATENCY),
-                reduced=reduced,
+                ph=ph_words[t + LATENCY],
+                pl=pl_words[t + LATENCY],
+                reduced=(None if reduced_words is None
+                         else reduced_words[t + LATENCY]),
             ))
         return results
 

@@ -7,7 +7,6 @@ own format; the benchmarks call these and print paper-vs-measured rows.
 
 from repro.eval.activity import experiment_activity
 from repro.eval.fault_injection import mutation_coverage
-from repro.eval.report import generate_report
 from repro.eval.traces import TRACES, generate_trace, reducibility
 from repro.eval.experiments import (
     experiment_fig1_ppgen,
@@ -24,6 +23,17 @@ from repro.eval.experiments import (
     experiment_table5,
 )
 from repro.eval.workloads import WorkloadGenerator
+
+
+def __getattr__(name):
+    # Lazy: ``python -m repro.eval.report`` runs report as __main__, and
+    # an eager import here would double-load it (runpy RuntimeWarning).
+    if name == "generate_report":
+        from repro.eval.report import generate_report
+
+        return generate_report
+    raise AttributeError(name)
+
 
 __all__ = [
     "WorkloadGenerator",

@@ -74,23 +74,40 @@ class ActivityBreakdown:
         return "\n".join(notes)
 
 
-def experiment_activity(n_cycles=16, seed=2017):
-    """Measure the per-block decomposition on the multi-format unit."""
+#: Formats the decomposition measures (Table V minus the idle-lane row).
+ACTIVITY_FORMATS = ("int64", "fp64", "fp32_dual")
+
+
+def activity_point(fmt, n_cycles=16, seed=2017):
+    """One per-format power decomposition — a parallelizable leaf job.
+
+    Returns the ``(total mW, significand mW, S&EH mW)`` triple.
+    """
     from repro.eval.experiments import cached_module
 
     lib = default_library()
     module = cached_module("mf")
+    gen = WorkloadGenerator(seed)
+    stim = gen.mf_stimulus(fmt, n_cycles)
+    report = estimate_power(module, lib, stim, n_cycles)
+    sig = sum(v for k, v in report.by_block_mw.items()
+              if k in SIGNIFICAND_BLOCKS)
+    sande = sum(v for k, v in report.by_block_mw.items()
+                if k in SEH_BLOCKS)
+    return (report.total_mw, sig, sande)
+
+
+def breakdown_from_points(points):
+    """Deterministic merge of :func:`activity_point` results per format."""
     totals, significand, seh = {}, {}, {}
-    for fmt in ("int64", "fp64", "fp32_dual"):
-        gen = WorkloadGenerator(seed)
-        stim = gen.mf_stimulus(fmt, n_cycles)
-        report = estimate_power(module, lib, stim, n_cycles)
-        sig = sum(v for k, v in report.by_block_mw.items()
-                  if k in SIGNIFICAND_BLOCKS)
-        sande = sum(v for k, v in report.by_block_mw.items()
-                    if k in SEH_BLOCKS)
-        totals[fmt] = report.total_mw
-        significand[fmt] = sig
-        seh[fmt] = sande
+    for fmt in ACTIVITY_FORMATS:
+        totals[fmt], significand[fmt], seh[fmt] = points[fmt]
     return ActivityBreakdown(total_mw=totals, significand_mw=significand,
                              seh_mw=seh)
+
+
+def experiment_activity(n_cycles=16, seed=2017):
+    """Measure the per-block decomposition on the multi-format unit."""
+    return breakdown_from_points(
+        {fmt: activity_point(fmt, n_cycles=n_cycles, seed=seed)
+         for fmt in ACTIVITY_FORMATS})

@@ -83,6 +83,16 @@ def _source_fingerprint():
     return digest.hexdigest()[:16]
 
 
+def source_fingerprint():
+    """Public alias: the fingerprint keying every on-disk cache layer.
+
+    Shared by the module pickle cache here and the orchestrator's
+    result cache (:mod:`repro.eval.orchestrator`), so one source edit
+    invalidates both coherently.
+    """
+    return _source_fingerprint()
+
+
 def _module_cache_dir():
     """The on-disk module cache directory, or ``None`` when disabled."""
     env = os.environ.get("REPRO_MODULE_CACHE")
@@ -229,16 +239,24 @@ class Table3Result:
         return paper_vs_measured(rows, title="Table III: power at 100 MHz")
 
 
+#: Table III configurations: result key -> cached_module builder name.
+TABLE3_CONFIGS = (("comb_r4", "r4"), ("comb_r16", "r16"),
+                  ("pipe_r4", "r4_pipe"), ("pipe_r16", "r16_pipe"))
+
+
+def table3_power_point(key, n_cycles=64, seed=2017):
+    """One Table III Monte Carlo power run — a parallelizable leaf job."""
+    which = dict(TABLE3_CONFIGS)[key]
+    gen = WorkloadGenerator(seed)
+    stim = gen.multiplier_stimulus(n_cycles)
+    return estimate_power(cached_module(which), default_library(), stim,
+                          n_cycles).total_mw
+
+
 def experiment_table3(n_cycles=64, seed=2017):
     """Table III: Monte Carlo power of both multipliers, both styles."""
-    lib = default_library()
-    results = {}
-    for key, which in (("comb_r4", "r4"), ("comb_r16", "r16"),
-                       ("pipe_r4", "r4_pipe"), ("pipe_r16", "r16_pipe")):
-        gen = WorkloadGenerator(seed)
-        stim = gen.multiplier_stimulus(n_cycles)
-        results[key] = estimate_power(cached_module(which), lib, stim,
-                                      n_cycles).total_mw
+    results = {key: table3_power_point(key, n_cycles=n_cycles, seed=seed)
+               for key, __ in TABLE3_CONFIGS}
     return Table3Result(power_mw=results, paper=PAPER["table3"])
 
 
@@ -307,6 +325,31 @@ class Table5Result:
             rows, title="Table V: multi-format power and efficiency")
 
 
+#: Table V formats and their operations per issued cycle.
+TABLE5_FLOPS = {"int64": 1, "fp64": 1, "fp32_dual": 2, "fp32_single": 1}
+
+
+def table5_format_point(fmt, n_cycles=64, seed=2017, issue_mhz=880.0):
+    """One Table V per-format power run — a parallelizable leaf job.
+
+    Returns the ``(mW @100MHz, GFLOPS, GFLOPS/W)`` triple for ``fmt``.
+    """
+    lib = default_library()
+    module = cached_module("mf")
+    gen = WorkloadGenerator(seed)
+    stim = gen.mf_stimulus(fmt, n_cycles)
+    rep = estimate_power(module, lib, stim, n_cycles)
+    gflops = TABLE5_FLOPS[fmt] * issue_mhz / 1000.0
+    watts = rep.scaled_to(issue_mhz).total_mw / 1000.0
+    return (rep.total_mw, gflops, gflops / watts)
+
+
+def mf_max_freq_mhz():
+    """STA-derived maximum clock of the multi-format unit (a leaf job)."""
+    timing = analyze(cached_module("mf"), default_library())
+    return 1e6 / timing.clock_period_ps
+
+
 def experiment_table5(n_cycles=64, seed=2017, issue_mhz=880.0):
     """Table V: power per format on the pipelined multi-format unit.
 
@@ -314,20 +357,11 @@ def experiment_table5(n_cycles=64, seed=2017, issue_mhz=880.0):
     dual binary32 mode) at the unit's maximum clock (the paper uses its
     880 MHz; we use ours, reported alongside).
     """
-    lib = default_library()
-    module = cached_module("mf")
-    flops = {"int64": 1, "fp64": 1, "fp32_dual": 2, "fp32_single": 1}
-    measured = {}
-    for fmt in ("int64", "fp64", "fp32_dual", "fp32_single"):
-        gen = WorkloadGenerator(seed)
-        stim = gen.mf_stimulus(fmt, n_cycles)
-        rep = estimate_power(module, lib, stim, n_cycles)
-        gflops = flops[fmt] * issue_mhz / 1000.0
-        watts = rep.scaled_to(issue_mhz).total_mw / 1000.0
-        measured[fmt] = (rep.total_mw, gflops, gflops / watts)
-    timing = analyze(module, lib)
+    measured = {fmt: table5_format_point(fmt, n_cycles=n_cycles, seed=seed,
+                                         issue_mhz=issue_mhz)
+                for fmt in TABLE5_FLOPS}
     return Table5Result(measured=measured, paper=PAPER["table5"],
-                        max_freq_mhz=1e6 / timing.clock_period_ps)
+                        max_freq_mhz=mf_max_freq_mhz())
 
 
 # ----------------------------------------------------------------------

@@ -148,13 +148,101 @@ def multiplier_checker(cases):
         stim = {"x": [c[0] for c in cases], "y": [c[1] for c in cases]}
         run = LevelizedSimulator(module).run(stim, len(cases))
         latency = module.stage_count() - 1
+        words = run.bus_words(module.outputs["p"])
         for t in range(len(cases) - latency):
             x, y = cases[t]
-            if run.bus_word(module.outputs["p"], t + latency) != x * y:
+            if words[t + latency] != x * y:
                 return False
         return True
 
     return check
+
+
+def r16_cases(n=16, case_seed=1):
+    """The standard random co-simulation battery for the r16 campaigns."""
+    rng = random.Random(case_seed)
+    return [(rng.getrandbits(64), rng.getrandbits(64)) for __ in range(n)]
+
+
+def mf_operations(n=12, case_seed=2):
+    """A mixed-format co-simulation battery for the MF-unit campaigns."""
+    from repro.bits.ieee754 import BINARY32, BINARY64
+    from repro.core.formats import MFFormat, OperandBundle
+
+    rng = random.Random(case_seed)
+    ops = []
+    for i in range(n):
+        pick = i % 3
+        if pick == 0:
+            ops.append((OperandBundle.int64(rng.getrandbits(64),
+                                            rng.getrandbits(64)),
+                        MFFormat.INT64))
+        elif pick == 1:
+            ops.append((OperandBundle.fp64(
+                BINARY64.pack(0, rng.randint(1, 2046), rng.getrandbits(52)),
+                BINARY64.pack(0, rng.randint(1, 2046),
+                              rng.getrandbits(52))), MFFormat.FP64))
+        else:
+            ops.append((OperandBundle.fp32_pair(
+                *[BINARY32.pack(0, rng.randint(1, 254),
+                                rng.getrandbits(23)) for __ in range(4)]),
+                MFFormat.FP32X2))
+    return ops
+
+
+def coverage_chunk(which="r16", n_mutations=10, seed=7):
+    """One campaign shard — a parallelizable leaf job.
+
+    Builds the target module and its co-simulation battery from fixed
+    case seeds, then runs ``n_mutations`` mutations drawn from ``seed``.
+    """
+    from repro.eval.experiments import cached_module
+
+    if which == "r16":
+        module = cached_module("r16")
+        checker = multiplier_checker(r16_cases())
+    elif which == "mf":
+        module = cached_module("mf")
+        checker = mf_unit_checker(mf_operations())
+    else:
+        raise ValueError(f"unknown campaign target {which!r}")
+    return mutation_coverage(module, checker, n_mutations=n_mutations,
+                             seed=seed)
+
+
+def chunk_plan(n_mutations, seed, chunks):
+    """Deterministic ``(chunk_seed, chunk_size)`` split of a campaign.
+
+    Both the serial entry point and the orchestrator's sharded graph
+    use this plan, so their merged results are identical.
+    """
+    chunks = max(1, min(chunks, n_mutations))
+    base, extra = divmod(n_mutations, chunks)
+    return [(seed * 1000003 + i, base + (1 if i < extra else 0))
+            for i in range(chunks)]
+
+
+def merge_coverage(results):
+    """Deterministic merge of per-chunk :class:`CoverageResult` values."""
+    merged = CoverageResult(attempted=0, detected=0)
+    for chunk in results:
+        merged.attempted += chunk.attempted
+        merged.detected += chunk.detected
+        merged.survivors.extend(chunk.survivors)
+    return merged
+
+
+def experiment_fault_coverage(which="r16", n_mutations=40, seed=7,
+                              chunks=4):
+    """Mutation coverage of the co-simulation battery for ``which``.
+
+    The campaign is split into ``chunks`` independently seeded shards
+    (see :func:`chunk_plan`); running them serially here or in parallel
+    through the orchestrator yields the same merged result.
+    """
+    return merge_coverage(
+        [coverage_chunk(which=which, n_mutations=size, seed=chunk_seed)
+         for chunk_seed, size in chunk_plan(n_mutations, seed, chunks)])
 
 
 def mf_unit_checker(operations):

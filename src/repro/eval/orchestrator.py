@@ -1,0 +1,568 @@
+"""Parallel experiment orchestration with a persistent result cache.
+
+The evaluation surface of this repository — every ``experiment_*``
+table/figure, the ``sweep_*`` ablations, the Sec. III-E activity
+decomposition and the fault-injection campaigns — used to be a strictly
+serial walk over ~19 entry points that each rebuilt stimulus and reran
+Monte Carlo from scratch.  This module turns that walk into a
+**dependency-aware job graph**:
+
+* **leaf jobs** are module-level functions addressed as
+  ``"module.path:function"`` with keyword params — picklable, so they
+  fan out over a ``ProcessPoolExecutor`` (fork context, sharing the
+  parent's warm module caches);
+* **merge jobs** run in the parent as soon as their dependencies
+  complete and assemble leaf values into the exact result objects the
+  serial entry points return — same seeds, bit-identical tables.
+
+Results persist in an on-disk pickle cache keyed by ``(source
+fingerprint, job name, params, seed, cycles)`` — the same fingerprint
+that keys the module pickle cache of :mod:`repro.eval.experiments`, so
+one source edit invalidates both coherently.  A corrupt or stale entry
+silently falls back to recomputation (``REPRO_RESULT_CACHE`` overrides
+the directory; ``0`` disables).
+
+Entry points:
+
+* :func:`run_experiment` — one experiment through the graph (what the
+  benchmark drivers call, so repeated benchmark processes share warm
+  caches instead of private ones);
+* :func:`run_experiments` — a batch with a shared pool and cache (what
+  the full-report CLI of :mod:`repro.eval.report` drives);
+* :func:`run_graph` — the raw scheduler, for custom graphs.
+"""
+
+import concurrent.futures
+import hashlib
+import importlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+
+# ----------------------------------------------------------------------
+# job model
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Job:
+    """One node of the experiment graph.
+
+    ``fn`` is a ``"module.path:function"`` string for leaf jobs (must be
+    importable in a worker process) or a direct callable for merge jobs
+    (which only ever run in the parent).  Leaves are called as
+    ``fn(**params)``; merges as ``fn(deps_dict, **params)`` where
+    ``deps_dict`` maps dependency job names to their results.
+    """
+
+    name: str
+    fn: Union[str, Callable]
+    params: Tuple[Tuple[str, object], ...] = ()
+    deps: Tuple[str, ...] = ()
+    weight: float = 1.0          # scheduling hint: heavier jobs first
+    cacheable: bool = True
+
+
+def job(name, fn, deps=(), weight=1.0, cacheable=True, **params):
+    """Convenience :class:`Job` constructor with sorted params."""
+    return Job(name=name, fn=fn,
+               params=tuple(sorted(params.items())),
+               deps=tuple(deps), weight=weight, cacheable=cacheable)
+
+
+@dataclass
+class JobOutcome:
+    """One executed (or cache-served) job's result and metrics."""
+
+    name: str
+    value: object
+    seconds: float
+    cached: bool
+    mode: str                   # "cache" | "inline" | "worker"
+
+
+# ----------------------------------------------------------------------
+# persistent result cache
+# ----------------------------------------------------------------------
+
+def _default_cache_root():
+    env = os.environ.get("REPRO_RESULT_CACHE")
+    if env == "0":
+        return None
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "results"
+
+
+class ResultCache:
+    """On-disk pickle cache of finished experiment results.
+
+    Keys are ``(source fingerprint, job name, fn, params, seed,
+    cycles)`` — seed and Monte Carlo depth are part of every job's
+    params and are surfaced explicitly in the key so two runs differing
+    only there never collide.  Entries store the full key alongside the
+    value; a digest collision, a corrupt pickle or an unreadable file
+    all degrade to a miss (the caller recomputes and overwrites).
+    """
+
+    def __init__(self, root=None, fingerprint=None):
+        if root is None:
+            root = _default_cache_root()
+        self.root = Path(root) if root is not None else None
+        if fingerprint is None:
+            from repro.eval.experiments import source_fingerprint
+
+            fingerprint = source_fingerprint()
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, jb):
+        params = dict(jb.params)
+        key = repr((self.fingerprint, jb.name, str(jb.fn), jb.params,
+                    params.get("seed"), params.get("n_cycles")))
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        slug = jb.name.replace("/", "_").replace(" ", "_")
+        return self.root / f"{slug}-{digest}.pkl", key
+
+    def load(self, jb):
+        """Return ``(hit, value)``; any failure is a miss, never an error."""
+        if self.root is None:
+            return False, None
+        path, key = self._entry(jb)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("key") != key:
+                raise KeyError("stale entry")
+            value = entry["value"]
+        except Exception:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, jb, value):
+        """Best-effort atomic write (mirrors the module pickle cache)."""
+        if self.root is None:
+            return
+        path, key = self._entry(jb)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"key": key, "value": value}, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            pass
+
+
+def resolve_cache(cache):
+    """Normalize the ``cache`` argument of the entry points.
+
+    ``True`` -> the default on-disk cache (or ``None`` when disabled by
+    ``REPRO_RESULT_CACHE=0``), ``False``/``None`` -> no caching, a
+    :class:`ResultCache` instance -> itself.
+    """
+    if cache is True:
+        return ResultCache() if _default_cache_root() is not None else None
+    if cache in (False, None):
+        return None
+    return cache
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+
+def _resolve_fn(fn):
+    if callable(fn):
+        return fn
+    module_name, __, func_name = fn.partition(":")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+def _execute_leaf(fn, params):
+    """Worker-side entry: resolve and call a leaf job."""
+    return _resolve_fn(fn)(**dict(params))
+
+
+def _check_graph(jobs):
+    by_name: Dict[str, Job] = {}
+    for jb in jobs:
+        seen = by_name.get(jb.name)
+        if seen is None:
+            by_name[jb.name] = jb
+        elif seen != jb:
+            raise SimulationError(
+                f"job graph defines {jb.name!r} twice with different specs")
+    for jb in by_name.values():
+        for dep in jb.deps:
+            if dep not in by_name:
+                raise SimulationError(
+                    f"job {jb.name!r} depends on unknown job {dep!r}")
+    # Kahn over the dep edges: detects cycles, yields a stable order.
+    order, ready = [], []
+    waiting = {name: len(jb.deps) for name, jb in by_name.items()}
+    dependents: Dict[str, List[str]] = {name: [] for name in by_name}
+    for name, jb in by_name.items():
+        for dep in jb.deps:
+            dependents[dep].append(name)
+    ready = [name for name, n in waiting.items() if n == 0]
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        for dependent in dependents[name]:
+            waiting[dependent] -= 1
+            if waiting[dependent] == 0:
+                ready.append(dependent)
+    if len(order) != len(by_name):
+        raise SimulationError("job graph has a dependency cycle")
+    return by_name, order, dependents
+
+
+def _finish(jb, results, cache):
+    """Run one job in the parent (cache-served, merge, or inline leaf)."""
+    t0 = time.perf_counter()
+    if jb.cacheable and cache is not None and not jb.deps:
+        hit, value = cache.load(jb)
+        if hit:
+            return JobOutcome(jb.name, value, time.perf_counter() - t0,
+                              cached=True, mode="cache")
+    if jb.deps:
+        deps = {dep: results[dep] for dep in jb.deps}
+        value = _resolve_fn(jb.fn)(deps, **dict(jb.params))
+    else:
+        value = _execute_leaf(jb.fn, jb.params)
+        if jb.cacheable and cache is not None:
+            cache.store(jb, value)
+    return JobOutcome(jb.name, value, time.perf_counter() - t0,
+                      cached=False, mode="inline")
+
+
+def run_graph(jobs, workers=0, cache=None):
+    """Execute a job graph; returns ``{name: JobOutcome}``.
+
+    ``workers <= 1`` runs everything inline in deterministic topological
+    order.  ``workers > 1`` fans cache-missing leaf jobs out over a
+    ``ProcessPoolExecutor`` (heaviest first); merge jobs always run in
+    the parent, as soon as their dependencies complete, so the merged
+    tables are identical to a serial run regardless of completion
+    order.  Cache lookups and stores happen only in the parent — worker
+    processes never touch the cache directory.
+    """
+    by_name, order, dependents = _check_graph(jobs)
+    results: Dict[str, object] = {}
+    outcomes: Dict[str, JobOutcome] = {}
+
+    if workers is None or workers <= 1:
+        for name in order:
+            outcome = _finish(by_name[name], results, cache)
+            outcomes[name] = outcome
+            results[name] = outcome.value
+        return outcomes
+
+    waiting = {name: len(by_name[name].deps) for name in by_name}
+    ready = [name for name in order if waiting[name] == 0]
+    ready.sort(key=lambda n: -by_name[n].weight)
+
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:                        # pragma: no cover - non-POSIX
+        ctx = multiprocessing.get_context()
+
+    def settle(name, outcome):
+        outcomes[name] = outcome
+        results[name] = outcome.value
+        unblocked = []
+        for dependent in dependents[name]:
+            waiting[dependent] -= 1
+            if waiting[dependent] == 0:
+                unblocked.append(dependent)
+        return unblocked
+
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx) as pool:
+        futures = {}
+
+        def launch(name):
+            jb = by_name[name]
+            if jb.deps:
+                # Merge: deps are complete by construction when queued.
+                for nxt in settle(name, _finish(jb, results, cache)):
+                    launch(nxt)
+                return
+            if jb.cacheable and cache is not None:
+                t0 = time.perf_counter()
+                hit, value = cache.load(jb)
+                if hit:
+                    outcome = JobOutcome(name, value,
+                                         time.perf_counter() - t0,
+                                         cached=True, mode="cache")
+                    for nxt in settle(name, outcome):
+                        launch(nxt)
+                    return
+            submitted = time.perf_counter()
+            futures[pool.submit(_execute_leaf, jb.fn, jb.params)] = \
+                (name, submitted)
+
+        for name in ready:
+            launch(name)
+        while futures:
+            done, __ = concurrent.futures.wait(
+                futures, return_when=concurrent.futures.FIRST_COMPLETED)
+            for future in done:
+                name, submitted = futures.pop(future)
+                jb = by_name[name]
+                value = future.result()
+                if jb.cacheable and cache is not None:
+                    cache.store(jb, value)
+                outcome = JobOutcome(name, value,
+                                     time.perf_counter() - submitted,
+                                     cached=False, mode="worker")
+                for nxt in settle(name, outcome):
+                    launch(nxt)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# the experiment registry (graph builders)
+# ----------------------------------------------------------------------
+
+def _merge_keyed(deps, _build=None, _keys=(), _prefix=""):
+    """Generic merge: collect ``{prefix}/{key}`` deps, hand to a builder."""
+    values = {key: deps[f"{_prefix}/{key}"] for key in _keys}
+    return _resolve_fn(_build)(values)
+
+
+def _build_table3(values):
+    from repro.eval import experiments as ex
+
+    return ex.Table3Result(power_mw=values, paper=ex.PAPER["table3"])
+
+
+def _build_table5(values):
+    from repro.eval import experiments as ex
+
+    measured = {fmt: values[fmt] for fmt in ex.TABLE5_FLOPS}
+    return ex.Table5Result(measured=measured, paper=ex.PAPER["table5"],
+                           max_freq_mhz=values["max_freq"])
+
+
+def _build_activity(values):
+    from repro.eval.activity import breakdown_from_points
+
+    return breakdown_from_points(values)
+
+
+def _merge_sweep(deps, _title="", _order=()):
+    from repro.eval.sweep import SweepResult
+
+    return SweepResult(title=_title, points=[deps[name] for name in _order])
+
+
+def _merge_fault(deps, _order=(), **params):
+    from repro.eval.fault_injection import merge_coverage
+
+    return merge_coverage([deps[name] for name in _order])
+
+
+def _single(fn, weight=1.0):
+    """Builder for an experiment that is one leaf job."""
+    def build(name, params):
+        return [job(name, fn, weight=weight, **params)]
+    return build
+
+
+def _table3_jobs(name, params):
+    from repro.eval.experiments import TABLE3_CONFIGS
+
+    leaves = [job(f"{name}/{key}", "repro.eval.experiments:table3_power_point",
+                  key=key, weight=4.0, **params)
+              for key, __ in TABLE3_CONFIGS]
+    return leaves + [job(name, _merge_keyed,
+                         deps=[leaf.name for leaf in leaves],
+                         cacheable=False,
+                         _build="repro.eval.orchestrator:_build_table3",
+                         _keys=tuple(key for key, __ in TABLE3_CONFIGS),
+                         _prefix=name)]
+
+
+def _table5_jobs(name, params):
+    from repro.eval.experiments import TABLE5_FLOPS
+
+    leaves = [job(f"{name}/{fmt}", "repro.eval.experiments:table5_format_point",
+                  fmt=fmt, weight=3.0, **params)
+              for fmt in TABLE5_FLOPS]
+    leaves.append(job(f"{name}/max_freq",
+                      "repro.eval.experiments:mf_max_freq_mhz", weight=0.5))
+    keys = tuple(TABLE5_FLOPS) + ("max_freq",)
+    return leaves + [job(name, _merge_keyed,
+                         deps=[leaf.name for leaf in leaves],
+                         cacheable=False,
+                         _build="repro.eval.orchestrator:_build_table5",
+                         _keys=keys, _prefix=name)]
+
+
+def _activity_jobs(name, params):
+    from repro.eval.activity import ACTIVITY_FORMATS
+
+    leaves = [job(f"{name}/{fmt}", "repro.eval.activity:activity_point",
+                  fmt=fmt, weight=2.0, **params)
+              for fmt in ACTIVITY_FORMATS]
+    return leaves + [job(name, _merge_keyed,
+                         deps=[leaf.name for leaf in leaves],
+                         cacheable=False,
+                         _build="repro.eval.orchestrator:_build_activity",
+                         _keys=ACTIVITY_FORMATS, _prefix=name)]
+
+
+def _sweep_jobs_factory(title, leaf_fn, configs):
+    """Builder for a sweep: one leaf per design point + ordered merge.
+
+    ``configs`` is a sequence of ``(suffix, leaf_params)`` pairs in
+    rendering order.
+    """
+    def build(name, params):
+        leaves = [job(f"{name}/{suffix}", leaf_fn, weight=1.5,
+                      **{**leaf_params, **params})
+                  for suffix, leaf_params in configs]
+        return leaves + [job(name, _merge_sweep,
+                             deps=[leaf.name for leaf in leaves],
+                             cacheable=False, _title=title,
+                             _order=tuple(leaf.name for leaf in leaves))]
+    return build
+
+
+def _fault_jobs_factory(which, default_mutations, default_seed):
+    def build(name, params):
+        from repro.eval.fault_injection import chunk_plan
+
+        p = {"n_mutations": default_mutations, "seed": default_seed,
+             "chunks": 4, **params}
+        plan = chunk_plan(p["n_mutations"], p["seed"], p["chunks"])
+        leaves = [job(f"{name}/chunk{i}",
+                      "repro.eval.fault_injection:coverage_chunk",
+                      which=which, n_mutations=size, seed=chunk_seed,
+                      weight=5.0)
+                  for i, (chunk_seed, size) in enumerate(plan)]
+        return leaves + [job(name, _merge_fault,
+                             deps=[leaf.name for leaf in leaves],
+                             cacheable=False,
+                             _order=tuple(leaf.name for leaf in leaves))]
+    return build
+
+
+def _sweep_configs():
+    from repro.eval import sweep as sw
+
+    radix = [(f"r{1 << k}", {"radix_log2": k}) for k, __ in sw.RADIX_POINTS]
+    cpa = [(style, {"style": style}) for style in sw.CPA_STYLES]
+    cut = [(str(c).lower(), {"cut": c}) for c in sw.PIPELINE_CUTS]
+    tree = [(f"r{1 << k}_{'42' if use42 else '32'}",
+             {"radix_log2": k, "use_4_2": use42})
+            for k, __, use42 in sw.TREE_POINTS]
+    spec = [(label, {"label": label}) for label in sw.SPECIALIZATION_LABELS]
+    return radix, cpa, cut, tree, spec
+
+
+def _registry():
+    radix, cpa, cut, tree, spec = _sweep_configs()
+    return {
+        "table1": _single("repro.eval.experiments:experiment_table1",
+                          weight=2.0),
+        "table2": _single("repro.eval.experiments:experiment_table2",
+                          weight=2.0),
+        "table3": _table3_jobs,
+        "table4": _single("repro.eval.experiments:experiment_table4",
+                          weight=0.1),
+        "table5": _table5_jobs,
+        "fig1": _single("repro.eval.experiments:experiment_fig1_ppgen",
+                        weight=0.5),
+        "fig2": _single("repro.eval.experiments:experiment_fig2_multiplier",
+                        weight=0.5),
+        "fig3": _single("repro.eval.experiments:experiment_fig3_normround",
+                        weight=0.5),
+        "fig4": _single("repro.eval.experiments:experiment_fig4_dual_lane",
+                        weight=0.5),
+        "fig5": _single("repro.eval.experiments:experiment_fig5_pipeline",
+                        weight=1.0),
+        "fig6": _single("repro.eval.experiments:experiment_fig6_reduction",
+                        weight=0.5),
+        "section4": _single(
+            "repro.eval.experiments:experiment_section4_savings", weight=0.5),
+        "activity": _activity_jobs,
+        "sweep_radix": _sweep_jobs_factory(
+            "Ablation: radix", "repro.eval.sweep:radix_point", radix),
+        "sweep_cpa": _sweep_jobs_factory(
+            "Ablation: CPA style", "repro.eval.sweep:cpa_point", cpa),
+        "sweep_pipeline_cut": _sweep_jobs_factory(
+            "Ablation: pipeline cut", "repro.eval.sweep:cut_point", cut),
+        "sweep_tree": _sweep_jobs_factory(
+            "Ablation: tree style", "repro.eval.sweep:tree_point", tree),
+        "sweep_specialization": _sweep_jobs_factory(
+            "Ablation: format specialization",
+            "repro.eval.sweep:specialization_point", spec),
+        "fault_r16": _fault_jobs_factory("r16", 40, 7),
+        "fault_mf": _fault_jobs_factory("mf", 40, 8),
+    }
+
+
+def experiment_names():
+    """Every orchestratable experiment entry point, in canonical order."""
+    return tuple(_registry())
+
+
+def build_jobs(name, params=None):
+    """The job graph for one experiment; its final job is named ``name``."""
+    registry = _registry()
+    if name not in registry:
+        raise SimulationError(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(registry)}")
+    return registry[name](name, dict(params or {}))
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+
+def run_experiment(name, workers=0, cache=True, **params):
+    """Run one experiment through the orchestrator; returns its result.
+
+    This is what the benchmark drivers call: repeated benchmark
+    *processes* then share the warm on-disk module and result caches
+    instead of rebuilding private state.  ``cache`` accepts ``True``
+    (default on-disk cache), ``False`` (no caching) or a
+    :class:`ResultCache` instance.
+    """
+    outcomes = run_graph(build_jobs(name, params), workers=workers,
+                         cache=resolve_cache(cache))
+    return outcomes[name].value
+
+
+def run_experiments(requests, workers=0, cache=True):
+    """Run several experiments as one shared graph.
+
+    ``requests`` is a sequence of ``(name, params)`` pairs; returns
+    ``({name: result}, [JobOutcome ...])`` with outcomes in
+    deterministic job order.
+    """
+    jobs: List[Job] = []
+    finals = []
+    for name, params in requests:
+        jobs.extend(build_jobs(name, params))
+        finals.append(name)
+    outcomes = run_graph(jobs, workers=workers, cache=resolve_cache(cache))
+    results = {name: outcomes[name].value for name in finals}
+    ordered = [outcomes[jb.name] for jb in jobs]
+    return results, ordered

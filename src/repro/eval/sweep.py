@@ -55,23 +55,30 @@ class SweepResult:
 
 def measure_design_point(label, module, power_cycles=0, seed=2017,
                          verify_patterns=16):
-    """STA + area (+ optional power) for one built multiplier module."""
+    """STA + area (+ optional power) for one built multiplier module.
+
+    The stimulus is generated **once** for the longest pass and sliced:
+    the verify pass reads the first ``verify_patterns`` words of the
+    same stream the power pass replays (the simulators only consume the
+    first ``n_patterns`` entries of each bus list), instead of paying
+    ``WorkloadGenerator`` twice per design point.
+    """
     lib = default_library()
+    n_patterns = max(verify_patterns, power_cycles)
+    stim = (WorkloadGenerator(seed).multiplier_stimulus(n_patterns)
+            if n_patterns else None)
     if verify_patterns:
-        gen = WorkloadGenerator(seed)
-        stim = gen.multiplier_stimulus(verify_patterns)
         run = LevelizedSimulator(module).run(stim, verify_patterns)
         latency = module.stage_count() - 1
+        words = run.bus_words(module.outputs["p"])
         for t in range(verify_patterns - latency):
             expect = stim["x"][t] * stim["y"][t]
-            got = run.bus_word(module.outputs["p"], t + latency)
-            assert got == expect, f"{label}: wrong product at pattern {t}"
+            assert words[t + latency] == expect, \
+                f"{label}: wrong product at pattern {t}"
     timing = analyze(module, lib)
     area = area_report(module, lib)
     power = None
     if power_cycles:
-        gen = WorkloadGenerator(seed)
-        stim = gen.multiplier_stimulus(power_cycles)
         power = estimate_power(module, lib, stim, power_cycles).total_mw
     return DesignPoint(
         label=label,
@@ -84,34 +91,108 @@ def measure_design_point(label, module, power_cycles=0, seed=2017,
     )
 
 
+#: The swept configurations, in rendering order.  Each sweep's leaf
+#: function below measures exactly one of these — module-level and
+#: keyword-addressable so the orchestrator can fan the points out over
+#: worker processes and merge them back deterministically.
+RADIX_POINTS = ((2, "radix-4"), (3, "radix-8"), (4, "radix-16"))
+CPA_STYLES = ("ripple", "brent_kung", "kogge_stone", "carry_select")
+PIPELINE_CUTS = (None, "after_precomp", "after_ppgen")
+TREE_POINTS = ((2, "radix-4", False), (2, "radix-4", True),
+               (4, "radix-16", False), (4, "radix-16", True))
+SPECIALIZATION_LABELS = ("multi-format", "int64-only", "fp64-only",
+                         "fp32x2-only")
+
+
+def radix_point(radix_log2, power_cycles=0):
+    """One radix-sweep design point (leaf job)."""
+    label = dict((k, lbl) for k, lbl in RADIX_POINTS)[radix_log2]
+    return measure_design_point(label, build_multiplier(radix_log2),
+                                power_cycles=power_cycles)
+
+
+def cpa_point(style, radix_log2=4, power_cycles=0):
+    """One CPA-style design point (leaf job)."""
+    module = build_multiplier(radix_log2, adder_style=style)
+    return measure_design_point(f"cpa={style}", module,
+                                power_cycles=power_cycles)
+
+
+def cut_point(cut, radix_log2=4, power_cycles=0):
+    """One pipeline-cut design point (leaf job)."""
+    module = build_multiplier(radix_log2, pipeline_cut=cut)
+    return measure_design_point(f"cut={cut}", module,
+                                power_cycles=power_cycles)
+
+
+def tree_point(radix_log2, use_4_2, power_cycles=0):
+    """One tree-style design point (leaf job)."""
+    module = build_multiplier(radix_log2, use_4_2=use_4_2)
+    label = dict((k, lbl) for k, lbl, __ in TREE_POINTS)[radix_log2]
+    tag = "4:2" if use_4_2 else "3:2"
+    return measure_design_point(f"{label} {tag}", module,
+                                power_cycles=power_cycles)
+
+
+def specialization_point(label):
+    """One format-specialization design point (leaf job).
+
+    ``"multi-format"`` measures the full unit; the ``*-only`` labels tie
+    ``frmt`` and let the optimizer reap the other formats' logic.
+    """
+    from repro.core.pipeline_unit import (
+        FRMT_FP32X2,
+        FRMT_FP64,
+        FRMT_INT64,
+        build_mf_multiplier,
+    )
+    from repro.hdl.buffering import insert_buffers
+    from repro.hdl.optimize import optimize, tie_input
+
+    lib = default_library()
+    if label == "multi-format":
+        module = build_mf_multiplier()
+    else:
+        code = {"int64-only": FRMT_INT64, "fp64-only": FRMT_FP64,
+                "fp32x2-only": FRMT_FP32X2}[label]
+        module = build_mf_multiplier(buffer_max_load=None)
+        tie_input(module, "frmt", code)
+        optimize(module)
+        insert_buffers(module, lib)
+    timing = analyze(module, lib)
+    area = area_report(module, lib)
+    return DesignPoint(
+        label=label, gates=len(module.gates),
+        registers=len(module.registers),
+        latency_ps=timing.latency_ps,
+        clock_ps=timing.clock_period_ps,
+        area_knand2=area.total_nand2_eq / 1000.0)
+
+
 def sweep_radix(power_cycles=0):
     """Radix 4 / 8 / 16, combinational (the Sec. II-A trade-off)."""
-    points = []
-    for k, label in ((2, "radix-4"), (3, "radix-8"), (4, "radix-16")):
-        module = build_multiplier(k)
-        points.append(measure_design_point(label, module,
-                                           power_cycles=power_cycles))
-    return SweepResult(title="Ablation: radix", points=points)
+    return SweepResult(
+        title="Ablation: radix",
+        points=[radix_point(k, power_cycles=power_cycles)
+                for k, __ in RADIX_POINTS])
 
 
 def sweep_cpa_style(radix_log2=4, power_cycles=0):
     """Final CPA style on the radix-16 multiplier."""
-    points = []
-    for style in ("ripple", "brent_kung", "kogge_stone", "carry_select"):
-        module = build_multiplier(radix_log2, adder_style=style)
-        points.append(measure_design_point(f"cpa={style}", module,
-                                           power_cycles=power_cycles))
-    return SweepResult(title="Ablation: CPA style", points=points)
+    return SweepResult(
+        title="Ablation: CPA style",
+        points=[cpa_point(style, radix_log2=radix_log2,
+                          power_cycles=power_cycles)
+                for style in CPA_STYLES])
 
 
 def sweep_pipeline_cut(radix_log2=4, power_cycles=0):
     """Register placement for the 2-stage multiplier (Sec. III-D theme)."""
-    points = []
-    for cut in (None, "after_precomp", "after_ppgen"):
-        module = build_multiplier(radix_log2, pipeline_cut=cut)
-        points.append(measure_design_point(f"cut={cut}", module,
-                                           power_cycles=power_cycles))
-    return SweepResult(title="Ablation: pipeline cut", points=points)
+    return SweepResult(
+        title="Ablation: pipeline cut",
+        points=[cut_point(cut, radix_log2=radix_log2,
+                          power_cycles=power_cycles)
+                for cut in PIPELINE_CUTS])
 
 
 def sweep_specialization():
@@ -121,51 +202,15 @@ def sweep_specialization():
     optimizer reap the other formats' logic; the cell-count delta vs the
     full unit bounds what the paper's flexibility costs.
     """
-    from repro.core.pipeline_unit import (
-        FRMT_FP32X2,
-        FRMT_FP64,
-        FRMT_INT64,
-        build_mf_multiplier,
-    )
-    from repro.hdl.optimize import optimize, tie_input
-
-    from repro.hdl.buffering import insert_buffers
-
-    lib = default_library()
-    points = []
-    full = build_mf_multiplier()
-    area = area_report(full, lib)
-    points.append(DesignPoint(
-        label="multi-format", gates=len(full.gates),
-        registers=len(full.registers),
-        latency_ps=analyze(full, lib).latency_ps,
-        clock_ps=analyze(full, lib).clock_period_ps,
-        area_knand2=area.total_nand2_eq / 1000.0))
-    for label, code in (("int64-only", FRMT_INT64),
-                        ("fp64-only", FRMT_FP64),
-                        ("fp32x2-only", FRMT_FP32X2)):
-        module = build_mf_multiplier(buffer_max_load=None)
-        tie_input(module, "frmt", code)
-        optimize(module)
-        insert_buffers(module, lib)
-        timing = analyze(module, lib)
-        area = area_report(module, lib)
-        points.append(DesignPoint(
-            label=label, gates=len(module.gates),
-            registers=len(module.registers),
-            latency_ps=timing.latency_ps,
-            clock_ps=timing.clock_period_ps,
-            area_knand2=area.total_nand2_eq / 1000.0))
-    return SweepResult(title="Ablation: format specialization", points=points)
+    return SweepResult(
+        title="Ablation: format specialization",
+        points=[specialization_point(label)
+                for label in SPECIALIZATION_LABELS])
 
 
 def sweep_tree_style(power_cycles=0):
     """Dadda 3:2 vs 4:2-first reduction, radix-4 and radix-16."""
-    points = []
-    for k, label in ((2, "radix-4"), (4, "radix-16")):
-        for use42 in (False, True):
-            module = build_multiplier(k, use_4_2=use42)
-            tag = "4:2" if use42 else "3:2"
-            points.append(measure_design_point(f"{label} {tag}", module,
-                                               power_cycles=power_cycles))
-    return SweepResult(title="Ablation: tree style", points=points)
+    return SweepResult(
+        title="Ablation: tree style",
+        points=[tree_point(k, use42, power_cycles=power_cycles)
+                for k, __, use42 in TREE_POINTS])

@@ -50,6 +50,26 @@ class SimRun:
             word |= ((self.values[net] >> t) & 1) << i
         return word
 
+    def bus_words(self, bus):
+        """All patterns' words on ``bus`` (LSB-first), one per pattern.
+
+        The bulk counterpart of :meth:`bus_word`: one pass over the
+        packed per-net pattern words instead of one bit-poke per wire
+        per pattern, which is what verification loops over whole runs
+        want.  ``bus_words(bus)[t] == bus_word(bus, t)`` always.
+        """
+        words = [0] * self.n_patterns
+        for i, net in enumerate(bus):
+            v = self.values[net]
+            if not v:
+                continue
+            bit = 1 << i
+            while v:
+                low = v & -v
+                words[low.bit_length() - 1] |= bit
+                v ^= low
+        return words
+
     def toggles_per_net(self):
         """Zero-delay toggle count of every net across consecutive patterns."""
         m = mask(self.n_patterns - 1) if self.n_patterns > 1 else 0

@@ -78,6 +78,27 @@ class TestLevelized:
         run = LevelizedSimulator(m).run({"a": [1]}, 3)
         assert [run.bus_word(m.outputs["o"], t) for t in range(3)] == [1, 0, 0]
 
+    def test_bus_words_matches_per_cycle_extraction(self):
+        import random
+
+        from repro.circuits.mult_common import build_multiplier
+
+        m = build_multiplier(2, width=8)
+        rng = random.Random(9)
+        n = 17
+        stim = {"x": [rng.getrandbits(8) for __ in range(n)],
+                "y": [rng.getrandbits(8) for __ in range(n)]}
+        run = LevelizedSimulator(m).run(stim, n)
+        for bus in list(m.outputs.values()) + list(m.inputs.values()):
+            assert run.bus_words(bus) \
+                == [run.bus_word(bus, t) for t in range(n)]
+
+    def test_bus_words_all_zero_bus(self):
+        m = _adder_bit()
+        run = LevelizedSimulator(m).run(
+            {"a": [0] * 4, "b": [0] * 4, "c": [0] * 4}, 4)
+        assert run.bus_words(m.outputs["s"]) == [0, 0, 0, 0]
+
 
 class TestEventDriven:
     def test_settles_to_levelized_values(self):

@@ -2,6 +2,7 @@
 
 import math
 import struct
+from fractions import Fraction
 
 import pytest
 from hypothesis import assume, given, settings, strategies as st
@@ -90,9 +91,14 @@ class TestFP64PaperMode:
         bundle = OperandBundle.fp64(xe, ye)
         r = MFMult(fidelity="fast").multiply(bundle, MFFormat.FP64)
         got = decode(r.fp64_encoding, BINARY64)
-        exact = decode(xe, BINARY64) * decode(ye, BINARY64)
+        # Measure against the infinitely precise product: a float
+        # "exact" is itself RNE-rounded, so an exact tie (which the
+        # datapath rounds away and RNE rounds to even) would read as a
+        # full-ulp error instead of the true half ulp.
+        exact = Fraction(decode(xe, BINARY64)) * Fraction(decode(ye, BINARY64))
         assert got != 0
-        assert abs(got - exact) / abs(exact) <= 2.0 ** -53 + 2.0 ** -80
+        assert abs(Fraction(got) - exact) / abs(exact) \
+            <= Fraction(1, 2 ** 53) + Fraction(1, 2 ** 80)
 
     @given(MID64, MID64)
     @settings(max_examples=100)
