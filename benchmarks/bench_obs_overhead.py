@@ -1,0 +1,108 @@
+"""Instrumentation overhead: the observability layer must be ~free.
+
+Times the radix-16 glitch replay (the hottest instrumented path) in
+three configurations —
+
+* **obs disabled**: registry muted (``set_enabled(False)``), tracing
+  off — the floor;
+* **obs on, trace off**: the shipping default — counters and records
+  collected, spans a no-op;
+* **obs on, trace on**: spans recorded too (what ``--trace`` pays).
+
+Each leg takes the best of ``ROUNDS`` runs (min filters scheduler
+noise), asserts the per-net toggle counts are identical across legs,
+and writes ``BENCH_obs_overhead.json`` at the repository root.  The
+gate: metrics-only overhead must stay under 5% of the disabled floor.
+Tracing overhead is recorded honestly but not gated — it is opt-in.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.eval.experiments import cached_module
+from repro.eval.workloads import WorkloadGenerator
+from repro.hdl.library import default_library
+from repro.hdl.power.monte_carlo import _event_toggles, shared_event_simulator
+from repro.hdl.sim.levelized import LevelizedSimulator
+
+N_CYCLES = int(os.environ.get("REPRO_OBS_BENCH_CYCLES", "10"))
+ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "5"))
+MAX_METRICS_OVERHEAD = 0.05
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    value = None
+    for __ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def test_bench_obs_overhead(report_sink):
+    module = cached_module("r16")
+    lib = default_library()
+    stim = WorkloadGenerator(2017).multiplier_stimulus(N_CYCLES)
+    run = LevelizedSimulator(module).run(stim, N_CYCLES)
+    transitions = N_CYCLES - 1
+
+    # Warm the shared simulator and its kernels outside the clocks.
+    kernel = shared_event_simulator(module, lib).kernel
+    _event_toggles(module, lib, run, N_CYCLES)
+
+    def replay():
+        totals, __ = _event_toggles(module, lib, run, N_CYCLES)
+        return totals
+
+    reg = obs.registry()
+    legs = {}
+    try:
+        reg.set_enabled(False)
+        legs["disabled"] = _best_of(replay, ROUNDS)
+        reg.set_enabled(True)
+        reg.reset()
+        legs["metrics"] = _best_of(replay, ROUNDS)
+        obs.start_trace()
+        legs["trace"] = _best_of(replay, ROUNDS)
+    finally:
+        obs.stop_trace()
+        reg.set_enabled(True)
+        reg.reset()
+
+    base_s, base_totals = legs["disabled"]
+    for name, (__, totals) in legs.items():
+        assert totals == base_totals, f"{name}: toggles diverged"
+
+    def leg_entry(seconds):
+        return {
+            "seconds": seconds,
+            "ms_per_transition": seconds * 1000 / transitions,
+            "overhead_vs_disabled": seconds / base_s - 1.0,
+        }
+
+    payload = {
+        "design": "r16",
+        "n_cycles": N_CYCLES,
+        "rounds": ROUNDS,
+        "kernel": kernel,
+        "max_metrics_overhead": MAX_METRICS_OVERHEAD,
+        "legs": {name: leg_entry(seconds)
+                 for name, (seconds, __) in legs.items()},
+    }
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    report_sink("obs_overhead", json.dumps(payload, indent=2))
+
+    metrics_overhead = payload["legs"]["metrics"]["overhead_vs_disabled"]
+    assert metrics_overhead < MAX_METRICS_OVERHEAD, (
+        f"metrics instrumentation costs {metrics_overhead:.1%} on the "
+        f"r16 glitch replay (gate: {MAX_METRICS_OVERHEAD:.0%})")

@@ -40,8 +40,10 @@ def _one_run(tmp_path, tag, workers, cache_root):
         mutations=MUTATIONS, workers=workers, cache=cache,
         metrics=metrics)
     seconds = time.perf_counter() - t0
+    counters = metrics["counters"]
     return {"tag": tag, "workers": workers, "seconds": seconds,
-            "n_jobs": metrics["n_jobs"], "cache_hits": metrics["cache_hits"],
+            "n_jobs": counters.get("report.jobs", 0),
+            "cache_hits": counters.get("report.cache_hits", 0),
             "text": text}
 
 

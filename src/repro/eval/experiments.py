@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.arith.partial_products import (
     build_dual_lane_pp_array,
     build_pp_array,
@@ -121,15 +122,23 @@ def cached_module(which):
     }
     builder = builders[which]
     cache_dir = _module_cache_dir()
+    reg = obs.registry()
     if cache_dir is None:
-        return builder()
+        reg.inc("module_cache.misses")
+        with obs.span(f"module:build:{which}", cat="module"):
+            return builder()
     path = cache_dir / f"{which}-{_source_fingerprint()}.pkl"
     try:
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        with obs.span(f"module:load:{which}", cat="module"):
+            with open(path, "rb") as fh:
+                module = pickle.load(fh)
+        reg.inc("module_cache.hits")
+        return module
     except Exception:
         pass
-    module = builder()
+    reg.inc("module_cache.misses")
+    with obs.span(f"module:build:{which}", cat="module"):
+        module = builder()
     try:
         cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.errors import SimulationError
 
 # ----------------------------------------------------------------------
@@ -136,17 +137,22 @@ class ResultCache:
         if self.root is None:
             return False, None
         path, key = self._entry(jb)
-        try:
-            with open(path, "rb") as fh:
-                entry = pickle.load(fh)
-            if entry.get("key") != key:
-                raise KeyError("stale entry")
-            value = entry["value"]
-        except Exception:
-            self.misses += 1
-            return False, None
-        self.hits += 1
-        return True, value
+        with obs.span(f"cache:probe:{jb.name}", cat="cache") as note:
+            try:
+                with open(path, "rb") as fh:
+                    entry = pickle.load(fh)
+                if entry.get("key") != key:
+                    raise KeyError("stale entry")
+                value = entry["value"]
+            except Exception:
+                self.misses += 1
+                note["hit"] = False
+                obs.registry().inc("orchestrator.cache.misses")
+                return False, None
+            self.hits += 1
+            note["hit"] = True
+            obs.registry().inc("orchestrator.cache.hits")
+            return True, value
 
     def store(self, jb, value):
         """Best-effort atomic write (mirrors the module pickle cache)."""
@@ -194,6 +200,33 @@ def _execute_leaf(fn, params):
     return _resolve_fn(fn)(**dict(params))
 
 
+def _execute_leaf_obs(name, fn, params):
+    """Worker-side entry shipping the task's observability payload.
+
+    The job's own metrics/spans (module builds, compiles, replays) land
+    in the worker's registry and trace buffer; :func:`repro.obs.task_begin`
+    scopes them to exactly this job so the parent's
+    :func:`repro.obs.task_merge` counts them once.
+    """
+    obs.task_begin()
+    with obs.span(f"leaf:{name}", cat="orchestrator"):
+        value = _execute_leaf(fn, params)
+    return value, obs.task_collect()
+
+
+def _note_outcome(outcome):
+    """Fold one finished job into the metrics registry + trace."""
+    reg = obs.registry()
+    reg.inc("orchestrator.jobs")
+    reg.inc(f"orchestrator.jobs.{outcome.mode}")
+    if outcome.cached:
+        reg.inc("orchestrator.jobs.cached")
+    reg.record("orchestrator.jobs",
+               {"name": outcome.name, "mode": outcome.mode,
+                "cached": outcome.cached,
+                "seconds": round(outcome.seconds, 6)})
+
+
 def _check_graph(jobs):
     by_name: Dict[str, Job] = {}
     for jb in jobs:
@@ -231,6 +264,15 @@ def _check_graph(jobs):
 def _finish(jb, results, cache):
     """Run one job in the parent (cache-served, merge, or inline leaf)."""
     t0 = time.perf_counter()
+    outcome = _finish_inner(jb, results, cache, t0)
+    obs.complete_event(f"job:{jb.name}", t0, outcome.seconds,
+                       cat="orchestrator", mode=outcome.mode,
+                       cached=outcome.cached)
+    _note_outcome(outcome)
+    return outcome
+
+
+def _finish_inner(jb, results, cache, t0):
     if jb.cacheable and cache is not None and not jb.deps:
         hit, value = cache.load(jb)
         if hit:
@@ -308,12 +350,16 @@ def run_graph(jobs, workers=0, cache=None):
                     outcome = JobOutcome(name, value,
                                          time.perf_counter() - t0,
                                          cached=True, mode="cache")
+                    obs.complete_event(f"job:{name}", t0, outcome.seconds,
+                                       cat="orchestrator", mode="cache",
+                                       cached=True)
+                    _note_outcome(outcome)
                     for nxt in settle(name, outcome):
                         launch(nxt)
                     return
             submitted = time.perf_counter()
-            futures[pool.submit(_execute_leaf, jb.fn, jb.params)] = \
-                (name, submitted)
+            futures[pool.submit(_execute_leaf_obs, name, jb.fn,
+                                jb.params)] = (name, submitted)
 
         for name in ready:
             launch(name)
@@ -323,12 +369,17 @@ def run_graph(jobs, workers=0, cache=None):
             for future in done:
                 name, submitted = futures.pop(future)
                 jb = by_name[name]
-                value = future.result()
+                value, obs_payload = future.result()
+                obs.task_merge(obs_payload)
                 if jb.cacheable and cache is not None:
                     cache.store(jb, value)
                 outcome = JobOutcome(name, value,
                                      time.perf_counter() - submitted,
                                      cached=False, mode="worker")
+                obs.complete_event(f"job:{name}", submitted,
+                                   outcome.seconds, cat="orchestrator",
+                                   mode="worker", cached=False)
+                _note_outcome(outcome)
                 for nxt in settle(name, outcome):
                     launch(nxt)
     return outcomes

@@ -25,6 +25,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from repro import obs
+
 #: Default location of the assembled report.
 DEFAULT_OUTPUT = (Path(__file__).resolve().parents[3]
                   / "benchmarks" / "results" / "full_report.txt")
@@ -82,10 +84,14 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
     (``<= 1`` runs serially — same bytes either way); ``cache`` is
     ``True``/``False`` or a :class:`repro.eval.orchestrator.ResultCache`.
     ``filters`` (substrings matched against experiment names) narrows
-    the section list.  ``metrics``, when a dict, is filled with per-job
-    wall-clock and cache-hit numbers.
+    the section list.  ``metrics``, when a dict, is filled with the
+    metrics-registry snapshot of the run (the ``repro.obs/1`` schema
+    that ``--json`` and ``--metrics-json`` emit).
     """
     from repro.eval.orchestrator import run_experiments
+
+    reg = obs.registry()
+    reg.reset()             # scope the snapshot to exactly this report
 
     sections = report_sections(n_cycles=n_cycles,
                                include_sweeps=include_sweeps,
@@ -95,43 +101,50 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
         sections = [s for s in sections
                     if any(f in s[1] or f in s[0] for f in filters)]
 
+    reg.gauge("report.workers", workers)
     t0 = time.perf_counter()
-    results, outcomes = run_experiments(
-        [(name, params) for __, name, params in sections],
-        workers=workers, cache=cache)
+    with obs.span("report:experiments", cat="report",
+                  sections=len(sections), workers=workers):
+        results, outcomes = run_experiments(
+            [(name, params) for __, name, params in sections],
+            workers=workers, cache=cache)
     wall_s = time.perf_counter() - t0
 
-    buf = io.StringIO()
-    w = buf.write
-    w("# Reproduction report\n\n")
-    w("Nannarelli, *A Multi-Format Floating-Point Multiplier for "
-      "Power-Efficient Operations*, SOCC 2017.\n\n")
-    w("Generated by `python -m repro.eval.report`; see EXPERIMENTS.md "
-      "for the committed reference numbers and deviation notes.\n\n")
-    for title, name, __ in sections:
-        w(f"## {title}\n\n```\n")
-        w(results[name].render())
-        w("\n```\n\n")
+    with obs.span("report:render", cat="report"):
+        buf = io.StringIO()
+        w = buf.write
+        w("# Reproduction report\n\n")
+        w("Nannarelli, *A Multi-Format Floating-Point Multiplier for "
+          "Power-Efficient Operations*, SOCC 2017.\n\n")
+        w("Generated by `python -m repro.eval.report`; see EXPERIMENTS.md "
+          "for the committed reference numbers and deviation notes.\n\n")
+        for title, name, __ in sections:
+            w(f"## {title}\n\n```\n")
+            w(results[name].render())
+            w("\n```\n\n")
+        text = buf.getvalue()
 
-    text = buf.getvalue()
     if out_path is not None:
         out_path = Path(out_path)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(text)
 
+    # Per-job rows in deterministic job order (the orchestrator's own
+    # ``orchestrator.jobs`` records arrive in completion order).
+    for o in outcomes:
+        reg.inc("report.jobs")
+        if o.cached:
+            reg.inc("report.cache_hits")
+        reg.record("report.jobs",
+                   {"name": o.name, "seconds": round(o.seconds, 4),
+                    "cached": o.cached, "mode": o.mode})
+    reg.observe("report.wall", wall_s)
+    reg.annotate("report.sections", [name for __, name, ___ in sections])
+    reg.annotate("report.output",
+                 str(out_path) if out_path is not None else None)
+
     if metrics is not None:
-        cache_hits = sum(1 for o in outcomes if o.cached)
-        metrics.update({
-            "workers": workers,
-            "sections": [name for __, name, ___ in sections],
-            "jobs": [{"name": o.name, "seconds": round(o.seconds, 4),
-                      "cached": o.cached, "mode": o.mode}
-                     for o in outcomes],
-            "n_jobs": len(outcomes),
-            "cache_hits": cache_hits,
-            "wall_s": round(wall_s, 4),
-            "output": str(out_path) if out_path is not None else None,
-        })
+        metrics.update(reg.snapshot())
     return text
 
 
@@ -158,8 +171,18 @@ def main(argv=None):
                         help="ignore and do not update the persistent "
                              "result cache")
     parser.add_argument("--json", action="store_true",
-                        help="print per-job metrics as JSON instead of "
-                             "the human-readable summary")
+                        help="print the metrics-registry snapshot "
+                             "(repro.obs/1 schema) instead of the "
+                             "human-readable summary")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="additionally write the metrics snapshot "
+                             "(same repro.obs/1 schema as --json) to "
+                             "PATH")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record Chrome trace-event spans (jobs, "
+                             "cache probes, module builds, compiles, "
+                             "replays) and write them to PATH — load in "
+                             "https://ui.perfetto.dev")
     parser.add_argument("--cycles", type=int, default=12,
                         help="Monte Carlo cycles for the power "
                              "experiments (default 12)")
@@ -174,6 +197,8 @@ def main(argv=None):
                         help=f"report path (default {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        obs.start_trace()
     metrics: Dict = {}
     generate_report(
         n_cycles=args.cycles,
@@ -186,17 +211,32 @@ def main(argv=None):
         filters=args.filter,
         metrics=metrics,
     )
+    n_trace = None
+    if args.trace:
+        n_trace = obs.write_trace(args.trace)
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     if args.json:
-        print(json.dumps(metrics, indent=2))
+        print(json.dumps(metrics, indent=2, sort_keys=True))
         return 0
+
+    # The human summary is a rendering of the same snapshot --json and
+    # --metrics-json emit — one source of truth.
+    counters = metrics["counters"]
     print(f"{'job':<42} {'mode':<8} {'seconds':>8}")
-    for entry in metrics["jobs"]:
+    for entry in metrics["records"].get("report.jobs", ()):
         print(f"{entry['name']:<42} {entry['mode']:<8} "
               f"{entry['seconds']:>8.3f}")
-    print(f"\n{metrics['n_jobs']} jobs, {metrics['cache_hits']} served "
-          f"from cache, {metrics['wall_s']:.2f}s wall with "
-          f"{metrics['workers']} worker(s)")
-    print(f"wrote {metrics['output']}")
+    wall = metrics["timers"].get("report.wall", {}).get("total", 0.0)
+    workers = metrics["gauges"].get("report.workers", args.workers)
+    print(f"\n{counters.get('report.jobs', 0)} jobs, "
+          f"{counters.get('report.cache_hits', 0)} served from cache, "
+          f"{wall:.2f}s wall with {workers:g} worker(s)")
+    print(f"wrote {metrics['meta'].get('report.output', args.output)}")
+    if n_trace is not None:
+        print(f"wrote {args.trace} ({n_trace} trace events)")
     return 0
 
 

@@ -37,7 +37,13 @@ class PowerReport:
     #: Simulator perf counters from the Monte Carlo run that produced
     #: this report (events processed, inertial cancellations, time-wheel
     #: occupancy, worker count) — diagnostics only, no power semantics.
+    #: Always matches ``repro.obs.schema.SIM_STATS_KEYS``.
     sim_stats: Optional[Dict[str, object]] = None
+    #: Per-net power attribution (``estimate_power(attribution=True)``):
+    #: glitch/functional split by named sub-block, cell type and
+    #: pipeline stage — a pure observer over the same toggle vectors,
+    #: so the headline numbers above are identical with it on or off.
+    attribution: Optional[object] = None
 
     @property
     def total_mw(self):
@@ -68,6 +74,8 @@ class PowerReport:
             by_block_mw={k: v * ratio for k, v in self.by_block_mw.items()},
             total_toggles=self.total_toggles,
             sim_stats=self.sim_stats,
+            attribution=(None if self.attribution is None
+                         else self.attribution.scaled_to(frequency_mhz)),
         )
 
 

@@ -34,10 +34,13 @@ replay):
 """
 
 import os
+import time
 import weakref
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.hdl.power.attribution import attribute_power
 from repro.hdl.power.model import (
     PowerReport,
     clock_energy_fj_per_cycle,
@@ -76,7 +79,7 @@ def shared_event_simulator(module, library):
 
 
 def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
-                   glitch=True, workers=None):
+                   glitch=True, workers=None, attribution=False):
     """Estimate average power over a stimulus sequence.
 
     ``stimulus`` maps input bus names to per-cycle word lists (as for
@@ -84,7 +87,11 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
     observe a transition.  ``workers=N`` (opt-in; default serial, or
     the ``REPRO_POWER_WORKERS`` environment variable) shards the glitch
     replay over N processes with a deterministic merge — results are
-    identical to the serial run.
+    identical to the serial run.  ``attribution=True`` additionally
+    keeps the per-net toggle vectors and attaches a
+    :class:`~repro.hdl.power.attribution.PowerAttribution` (glitch vs
+    functional split by sub-block / cell / pipeline stage) to the
+    report — a pure observer, the power numbers do not change.
     """
     if n_cycles < 2:
         raise SimulationError("need at least two cycles to measure power")
@@ -96,8 +103,12 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
             raise SimulationError(
                 f"REPRO_POWER_WORKERS must be an integer, got {env!r}"
             ) from None
-    sim = LevelizedSimulator(module)
-    run = sim.run(stimulus, n_cycles)
+    t_level = time.perf_counter()
+    with obs.span("power:levelized", cat="power", module=module.name,
+                  cycles=n_cycles):
+        sim = LevelizedSimulator(module)
+        run = sim.run(stimulus, n_cycles)
+    t_level = time.perf_counter() - t_level
 
     energies = net_toggle_energies(module, library)
     owner = module.block_of_net()
@@ -106,12 +117,16 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
     zero_energy = sum(t * e for t, e in zip(zero_toggles, energies))
 
     if glitch:
-        event_toggles, sim_stats = _event_toggles(module, library, run,
-                                                  n_cycles, workers)
+        with obs.span("power:glitch_replay", cat="power",
+                      module=module.name, workers=workers or 1):
+            event_toggles, sim_stats = _event_toggles(module, library, run,
+                                                      n_cycles, workers)
     else:
         event_toggles = zero_toggles
-        sim_stats = {"engine": "zero-delay", "transitions": n_cycles - 1,
-                     "workers": 1}
+        sim_stats = {"engine": "zero-delay", "kernel": "none",
+                     "transitions": n_cycles - 1, "workers": 1,
+                     "elapsed_s": t_level}
+    sim_stats = obs.normalize_sim_stats(sim_stats)
 
     # Effective switched energy: the functional transitions plus the
     # derated share of the extra (glitch) transitions (see
@@ -137,6 +152,20 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
     register_mw = toggles_to_power_mw(
         clock_energy_fj_per_cycle(module, library) * transitions,
         transitions, frequency_mhz)
+
+    attribution_report = None
+    if attribution:
+        with obs.span("power:attribution", cat="power", module=module.name):
+            attribution_report = attribute_power(
+                module, library, energies, zero_toggles, event_toggles,
+                transitions, frequency_mhz, glitch=glitch)
+
+    reg = obs.registry()
+    reg.inc("power.estimates")
+    reg.record("power.estimates",
+               {"module": module.name, "glitch": glitch,
+                "cycles": n_cycles, "levelized_s": round(t_level, 6),
+                **sim_stats})
     return PowerReport(
         frequency_mhz=frequency_mhz,
         cycles=transitions,
@@ -148,6 +177,7 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
                      for k, v in by_block_energy.items()},
         total_toggles=sum(toggles),
         sim_stats=sim_stats,
+        attribution=attribution_report,
     )
 
 
@@ -181,8 +211,10 @@ def _event_toggles(module, library, run, n_cycles, workers=0):
         return _event_toggles_sharded(module, library, run.values,
                                       n_cycles, workers)
     esim = shared_event_simulator(module, library)
+    t0 = time.perf_counter()
     totals, stats = _replay(esim, run.values, 1, transitions)
     stats["workers"] = 1
+    stats["elapsed_s"] = time.perf_counter() - t0
     return totals, stats
 
 
@@ -211,17 +243,20 @@ def _event_toggles_sharded(module, library, packed_values, n_cycles,
         ctx = multiprocessing.get_context("fork")
     except ValueError:                        # pragma: no cover - non-POSIX
         ctx = multiprocessing.get_context()
+    t0 = time.perf_counter()
     with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers, mp_context=ctx,
             initializer=_shard_init,
             initargs=(module, library, packed_values)) as pool:
         results = list(pool.map(_shard_run, windows))
+    elapsed = time.perf_counter() - t0
 
     totals = [0] * module.n_nets
     merged = {"engine": "wheel", "kernel": "python", "transitions": 0,
               "events_processed": 0, "cancellations": 0,
               "wheel_buckets": 0, "wheel_max_bucket": 0}
-    for window_totals, stats in results:
+    for window_totals, stats, obs_payload in results:
+        obs.task_merge(obs_payload)
         merged["kernel"] = stats["kernel"]
         for net, c in enumerate(window_totals):
             if c:
@@ -232,6 +267,7 @@ def _event_toggles_sharded(module, library, packed_values, n_cycles,
         if stats["wheel_max_bucket"] > merged["wheel_max_bucket"]:
             merged["wheel_max_bucket"] = stats["wheel_max_bucket"]
     merged["workers"] = workers
+    merged["elapsed_s"] = elapsed
     return totals, merged
 
 
@@ -244,9 +280,25 @@ def _shard_init(module, library, packed_values):
 
 
 def _shard_run(window):
+    obs.task_begin()
     t_first, t_last = window
-    return _replay(_SHARD_STATE["esim"], _SHARD_STATE["packed_values"],
-                   t_first, t_last)
+    t0 = time.perf_counter()
+    with obs.span("power:shard", cat="power", t_first=t_first,
+                  t_last=t_last):
+        totals, stats = _replay(_SHARD_STATE["esim"],
+                                _SHARD_STATE["packed_values"],
+                                t_first, t_last)
+    stats["workers"] = 1
+    stats["elapsed_s"] = time.perf_counter() - t0
+    obs.registry().record(
+        "power.shards",
+        {"t_first": t_first, "t_last": t_last,
+         **obs.normalize_sim_stats(stats)})
+    # Parent merges stats itself; strip the per-shard-only keys so the
+    # deterministic merge sees exactly what the serial path produces.
+    stats = {k: v for k, v in stats.items()
+             if k not in ("workers", "elapsed_s")}
+    return totals, stats, obs.task_collect()
 
 
 # ----------------------------------------------------------------------

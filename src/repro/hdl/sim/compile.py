@@ -36,6 +36,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.errors import NetlistError
 from repro.hdl.cell import CELL_KINDS
 from repro.hdl.sim.toposort import topo_gate_order, topo_node_order
@@ -85,13 +86,17 @@ def gate_expr(gate, mask_name="M"):
 def _compile_chunks(statements, tag):
     """Exec chunks of statements as ``def _k(v, M)`` functions."""
     fns = []
-    for start in range(0, len(statements), CHUNK_STATEMENTS):
-        body = statements[start:start + CHUNK_STATEMENTS] or ["pass"]
-        src = "def _k(v, M):\n    " + "\n    ".join(body)
-        namespace = {}
-        code = compile(src, f"<repro.hdl.sim.compile:{tag}:{start}>", "exec")
-        exec(code, namespace)
-        fns.append(namespace["_k"])
+    with obs.span("compile:kernel", cat="compile", tag=tag,
+                  statements=len(statements)):
+        for start in range(0, len(statements), CHUNK_STATEMENTS):
+            body = statements[start:start + CHUNK_STATEMENTS] or ["pass"]
+            src = "def _k(v, M):\n    " + "\n    ".join(body)
+            namespace = {}
+            code = compile(src, f"<repro.hdl.sim.compile:{tag}:{start}>",
+                           "exec")
+            exec(code, namespace)
+            fns.append(namespace["_k"])
+    obs.registry().inc("compile.kernels")
     return fns
 
 
@@ -99,14 +104,18 @@ def _compile_eval_factories(gates, tag):
     """Exec chunks of ``lambda:`` appends building per-gate closures."""
     fns = []
     gates = list(gates)
-    for start in range(0, len(gates), CHUNK_STATEMENTS):
-        body = [f"a(lambda: {gate_expr(g, mask_name='1')})"
-                for g in gates[start:start + CHUNK_STATEMENTS]] or ["pass"]
-        src = "def _k(v, a):\n    " + "\n    ".join(body)
-        namespace = {}
-        code = compile(src, f"<repro.hdl.sim.compile:{tag}:{start}>", "exec")
-        exec(code, namespace)
-        fns.append(namespace["_k"])
+    with obs.span("compile:kernel", cat="compile", tag=tag,
+                  statements=len(gates)):
+        for start in range(0, len(gates), CHUNK_STATEMENTS):
+            body = [f"a(lambda: {gate_expr(g, mask_name='1')})"
+                    for g in gates[start:start + CHUNK_STATEMENTS]] or ["pass"]
+            src = "def _k(v, a):\n    " + "\n    ".join(body)
+            namespace = {}
+            code = compile(src, f"<repro.hdl.sim.compile:{tag}:{start}>",
+                           "exec")
+            exec(code, namespace)
+            fns.append(namespace["_k"])
+    obs.registry().inc("compile.kernels")
     return fns
 
 
@@ -184,6 +193,12 @@ class CompiledModule:
 
 def compile_module(module):
     """Compile ``module`` into a :class:`CompiledModule` (uncached)."""
+    with obs.span("compile:module", cat="compile", module=module.name,
+                  gates=len(module.gates)):
+        return _compile_module(module)
+
+
+def _compile_module(module):
     order = topo_node_order(module)
     gate_order = topo_gate_order(module)
     gates = module.gates

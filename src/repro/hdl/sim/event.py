@@ -42,9 +42,11 @@ rule executed outside the interpreter, again bit-identical.
 """
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.hdl.cell import cell_eval
 from repro.hdl.sim import ckernel
@@ -213,6 +215,7 @@ class EventSimulator:
         n_buckets = 0
         max_bucket = 0
         settle = 0.0
+        t0 = time.perf_counter()
 
         if self._ck is not None:
             ck = self._ck
@@ -258,6 +261,16 @@ class EventSimulator:
                     max_bucket = counts.wheel_max_bucket
                 settle = counts.settle_time_ps
                 # apply() maintains self.stats per transition already.
+
+        reg = obs.registry()
+        reg.inc("sim.replay.calls")
+        reg.inc("sim.replay.transitions", transitions)
+        reg.inc("sim.replay.events", events)
+        reg.inc("sim.replay.cancellations", cancelled)
+        obs.complete_event(
+            "sim:replay", t0, time.perf_counter() - t0, cat="sim",
+            module=self.module.name, kernel=self.kernel,
+            engine=self.engine, transitions=transitions, events=events)
 
         return TransitionCounts(toggles=toggles, events_processed=events,
                                 settle_time_ps=settle, cancelled=cancelled,

@@ -1,0 +1,250 @@
+"""Process-wide metrics registry: counters, gauges, timers, records.
+
+One :class:`MetricsRegistry` per process (module-level singleton,
+:func:`registry`) collects every quantitative observation the stack
+makes — orchestrator cache hits, simulator transition counts, per-job
+wall clocks — under short dotted names.  The registry is deliberately
+small and dependency-free:
+
+* **thread-safe** — one lock around every mutation;
+* **fork-safe** — the registry remembers the pid it was created in and
+  silently resets on first touch in a forked child, so a worker never
+  re-reports counts inherited from its parent (the parent merges the
+  child's *own* snapshot back explicitly, see :func:`MetricsRegistry.merge`);
+* **JSON-stable** — :meth:`MetricsRegistry.snapshot` returns one plain
+  dict (schema ``repro.obs/1``) that serializes as-is and that
+  :meth:`MetricsRegistry.merge` consumes on the other side of a process
+  boundary: counters add, gauges last-write-wins, timers/histograms
+  combine count/total/min/max, records append.
+
+Instrument sites at *operation* granularity (a replay window, a cache
+probe, a job) — never per event; the registry is for observability, not
+profiling.  ``REPRO_NO_OBS=1`` (or :meth:`set_enabled`) turns every
+mutation into a no-op for overhead-paranoid runs.
+"""
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Snapshot schema identifier; bump when the shape changes.
+SCHEMA = "repro.obs/1"
+
+#: Rows kept per record stream; overflow is counted, never silent.
+MAX_RECORDS_PER_NAME = 4096
+
+
+class MetricsRegistry:
+    """Thread- and fork-safe store of named metrics."""
+
+    def __init__(self, enabled=None):
+        if enabled is None:
+            enabled = not os.environ.get("REPRO_NO_OBS", "")
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+        self._records: Dict[str, List[dict]] = {}
+        self._meta: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self):
+        return self._enabled
+
+    def set_enabled(self, enabled):
+        """Toggle collection (used by the overhead benchmark)."""
+        self._enabled = bool(enabled)
+
+    def _clear_locked(self):
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._histograms.clear()
+        self._records.clear()
+        self._meta.clear()
+        self._pid = os.getpid()
+
+    def reset(self):
+        """Drop every metric (and adopt the current pid)."""
+        with self._lock:
+            self._clear_locked()
+
+    def _guard(self):
+        """Fork guard: a forked child must not re-report parent metrics."""
+        if os.getpid() != self._pid:
+            self._clear_locked()
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+
+    def inc(self, name, n=1):
+        """Add ``n`` to counter ``name`` (monotone; merges by addition)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._guard()
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name, value):
+        """Set gauge ``name`` (point-in-time; merges last-write-wins)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._guard()
+            self._gauges[name] = value
+
+    def observe(self, name, seconds):
+        """Record one duration under timer ``name``."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._guard()
+            _combine(self._timers, name, seconds)
+
+    def observe_value(self, name, value):
+        """Record one sample under histogram ``name``."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._guard()
+            _combine(self._histograms, name, value)
+
+    def timer(self, name):
+        """Context manager timing its body into :meth:`observe`."""
+        return _Timer(self, name)
+
+    def record(self, name, row):
+        """Append a structured row (a JSON-safe dict) to stream ``name``.
+
+        Streams are bounded at :data:`MAX_RECORDS_PER_NAME` rows;
+        overflow increments the ``<name>.dropped`` counter instead of
+        growing without limit or vanishing silently.
+        """
+        if not self._enabled:
+            return
+        with self._lock:
+            self._guard()
+            rows = self._records.setdefault(name, [])
+            if len(rows) >= MAX_RECORDS_PER_NAME:
+                self._counters[f"{name}.dropped"] = \
+                    self._counters.get(f"{name}.dropped", 0) + 1
+                return
+            rows.append(dict(row))
+
+    def annotate(self, name, value):
+        """Attach a string annotation (paths, versions) to the snapshot."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._guard()
+            self._meta[name] = str(value)
+
+    # ------------------------------------------------------------------
+    # snapshot / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """One JSON-serializable dict of everything collected so far."""
+        with self._lock:
+            self._guard()
+            return {
+                "schema": SCHEMA,
+                "pid": self._pid,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {k: dict(v)
+                           for k, v in sorted(self._timers.items())},
+                "histograms": {k: dict(v)
+                               for k, v in sorted(self._histograms.items())},
+                "records": {k: [dict(r) for r in v]
+                            for k, v in sorted(self._records.items())},
+                "meta": dict(sorted(self._meta.items())),
+            }
+
+    def merge(self, snapshot):
+        """Fold a child process's :meth:`snapshot` into this registry.
+
+        Counters add, gauges and meta take the child's value, timers
+        and histograms combine their count/total/min/max, records
+        append (subject to the same cap as :meth:`record`).
+        """
+        if not snapshot or snapshot.get("schema") != SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snapshot.get('schema') if snapshot else None!r}; "
+                f"expected {SCHEMA!r}")
+        with self._lock:
+            self._guard()
+            for name, n in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + n
+            self._gauges.update(snapshot.get("gauges", {}))
+            self._meta.update(snapshot.get("meta", {}))
+            for store, key in ((self._timers, "timers"),
+                               (self._histograms, "histograms")):
+                for name, agg in snapshot.get(key, {}).items():
+                    mine = store.get(name)
+                    if mine is None:
+                        store[name] = dict(agg)
+                    else:
+                        mine["count"] += agg["count"]
+                        mine["total"] += agg["total"]
+                        mine["min"] = min(mine["min"], agg["min"])
+                        mine["max"] = max(mine["max"], agg["max"])
+            for name, rows in snapshot.get("records", {}).items():
+                mine = self._records.setdefault(name, [])
+                for row in rows:
+                    if len(mine) >= MAX_RECORDS_PER_NAME:
+                        self._counters[f"{name}.dropped"] = \
+                            self._counters.get(f"{name}.dropped", 0) + 1
+                    else:
+                        mine.append(dict(row))
+
+
+def _combine(store, name, value):
+    agg = store.get(name)
+    if agg is None:
+        store[name] = {"count": 1, "total": value, "min": value,
+                       "max": value}
+    else:
+        agg["count"] += 1
+        agg["total"] += value
+        if value < agg["min"]:
+            agg["min"] = value
+        if value > agg["max"]:
+            agg["max"] = value
+
+
+class _Timer:
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry, name):
+        self._registry = registry
+        self._name = name
+        self._t0 = None
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._registry.observe(self._name,
+                               time.perf_counter() - self._t0)
+        return False
+
+
+#: The process-wide registry every instrumented site reports to.
+_REGISTRY = MetricsRegistry()
+
+
+def registry():
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _REGISTRY

@@ -1,0 +1,179 @@
+"""Trace spans in Chrome trace-event format.
+
+:class:`span` wraps an operation — an orchestrator job, a cache probe,
+a module build, a compile pass, an event-sim replay — and, when tracing
+is on, records one *complete* event (``"ph": "X"``) with microsecond
+timestamps.  :func:`write_trace` emits the standard
+``{"traceEvents": [...]}`` JSON that loads directly into Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Tracing is **off by default** and costs one attribute load per span
+while off.  Turn it on with
+
+* ``REPRO_TRACE=/path/to/trace.json`` in the environment — every
+  process (and, via fork, every worker) traces itself and the owning
+  process writes the file at exit; or
+* :func:`start_trace` / :func:`write_trace` programmatically — what
+  ``python -m repro.eval.report --trace out.json`` does.
+
+Cross-process collection mirrors the metrics registry: a forked child
+clears inherited events on first append (pid guard) and ships its own
+buffer back through :func:`repro.obs.task_collect`; the parent calls
+:func:`extend_events`.  Events carry the recording pid, so the viewer
+separates parent and worker tracks for free.
+"""
+
+import atexit
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+_lock = threading.Lock()
+_enabled = False
+_events: List[dict] = []
+_pid = os.getpid()
+
+
+def is_tracing():
+    """Whether spans are currently being recorded in this process."""
+    return _enabled
+
+
+def start_trace():
+    """Enable span collection (clearing any previous buffer)."""
+    global _enabled, _pid
+    with _lock:
+        _events.clear()
+        _pid = os.getpid()
+        _enabled = True
+
+
+def stop_trace():
+    """Disable span collection, returning the collected events."""
+    global _enabled
+    with _lock:
+        _enabled = False
+        events = list(_events)
+        _events.clear()
+        return events
+
+
+def _append(event):
+    global _pid
+    with _lock:
+        if not _enabled:
+            return
+        if os.getpid() != _pid:
+            # Forked child: inherited events belong to the parent and
+            # must not be re-shipped from here.
+            _events.clear()
+            _pid = os.getpid()
+        _events.append(event)
+
+
+def complete_event(name, t0_s, dur_s, cat="repro", **args):
+    """Record one already-measured complete event (see also :class:`span`)."""
+    if not _enabled:
+        return
+    _append({
+        "name": name, "cat": cat, "ph": "X",
+        "ts": t0_s * 1e6, "dur": dur_s * 1e6,
+        "pid": os.getpid(), "tid": threading.get_native_id(),
+        "args": args,
+    })
+
+
+class span:
+    """Context manager recording one complete trace event.
+
+    ``args`` become the event's ``args`` payload; the dict handed back
+    by ``__enter__`` may be extended inside the body (e.g. to record a
+    cache-probe outcome discovered mid-span)::
+
+        with span("job:table3", cat="orchestrator") as s:
+            s["mode"] = run_the_job()
+    """
+
+    __slots__ = ("name", "cat", "args", "_t0")
+
+    def __init__(self, name, cat="repro", **args):
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = None
+
+    def __enter__(self):
+        if _enabled:
+            self._t0 = time.perf_counter()
+        return self.args
+
+    def __exit__(self, *exc):
+        if self._t0 is not None and _enabled:
+            now = time.perf_counter()
+            complete_event(self.name, self._t0, now - self._t0,
+                           cat=self.cat, **self.args)
+        return False
+
+
+def drain_events():
+    """Return and clear this process's event buffer (tracing stays on)."""
+    global _pid
+    with _lock:
+        if os.getpid() != _pid:
+            _events.clear()
+            _pid = os.getpid()
+            return []
+        events = list(_events)
+        _events.clear()
+        return events
+
+
+def extend_events(events):
+    """Append events collected elsewhere (a worker's drained buffer)."""
+    if not events:
+        return
+    with _lock:
+        _events.extend(events)
+
+
+def trace_json(extra_events=None):
+    """The Chrome trace-event document for everything collected so far."""
+    with _lock:
+        events = list(_events)
+    if extra_events:
+        events = events + list(extra_events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema": "chrome-trace"},
+    }
+
+
+def write_trace(path, extra_events=None):
+    """Write the trace JSON to ``path``; returns the event count."""
+    doc = trace_json(extra_events)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# environment opt-in
+# ----------------------------------------------------------------------
+
+_ENV_PATH = os.environ.get("REPRO_TRACE")
+
+
+def _flush_env_trace():  # pragma: no cover - exercised via subprocess
+    try:
+        write_trace(_ENV_PATH)
+    except OSError:
+        pass
+
+
+if _ENV_PATH:
+    start_trace()
+    atexit.register(_flush_env_trace)
