@@ -11,9 +11,35 @@ Both campaigns now run through the orchestrator, which shards the
 mutation budget into deterministically seeded chunks (see
 :func:`repro.eval.fault_injection.chunk_plan`) so the serial and
 parallel runs produce identical coverage figures.
+
+``test_bench_fault_sim_race`` additionally races the two campaign
+engines head to head — full clone-and-resimulate vs the differential
+cone engine — asserts their :class:`CoverageResult` values are
+bit-identical, and emits ``BENCH_fault_sim.json`` at the repository
+root with the per-mutation speedup, mean fan-out cone size and
+early-exit rate.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.eval.fault_injection import (
+    campaign_battery,
+    mutation_coverage,
+    propose_mutation,
+)
+from repro.eval.experiments import cached_module
 from repro.eval.orchestrator import run_experiment
+from repro.hdl.cell import cell_num_inputs
+from repro.hdl.sim.differential import DifferentialEngine
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fault_sim.json"
+
+#: Mutations for the head-to-head race — the full path re-simulates the
+#: whole radix-16 datapath per mutation, so this is the slow side.
+N_RACE = int(os.environ.get("REPRO_FAULT_BENCH_MUTATIONS", "20"))
 
 
 def test_bench_mutation_coverage_multiplier(benchmark, report_sink):
@@ -34,3 +60,65 @@ def test_bench_mutation_coverage_mf_unit(benchmark, report_sink):
     report_sink("fault_injection_mf", result.render())
     assert result.attempted == 40
     assert result.coverage >= 0.6   # mode-gated logic needs specific data
+
+
+def test_bench_fault_sim_race(report_sink):
+    """Full vs differential on the radix-16 campaign: identical results,
+    measured per-mutation speedup recorded in BENCH_fault_sim.json."""
+    module = cached_module("r16")
+    battery = campaign_battery("r16", module)
+    seed = 7
+
+    t0 = time.perf_counter()
+    full = mutation_coverage(module, n_mutations=N_RACE, seed=seed,
+                             mode="full", battery=battery)
+    full_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    diff = mutation_coverage(module, n_mutations=N_RACE, seed=seed,
+                             mode="differential", battery=battery)
+    diff_s = time.perf_counter() - t0
+
+    assert (full.attempted, full.detected) == (diff.attempted,
+                                               diff.detected)
+    assert [(s.gate_index, s.description) for s in full.survivors] \
+        == [(s.gate_index, s.description) for s in diff.survivors]
+
+    # Isolate the steady-state per-mutation cost: golden simulation and
+    # fan-out precomputation are per-campaign, paid once.
+    engine = DifferentialEngine(module, battery.stimulus,
+                                battery.n_patterns,
+                                battery.observation(module))
+    import random as _random
+    rng = _random.Random(seed)
+    arities = [cell_num_inputs(g.kind) for g in module.gates]
+    proposals = [propose_mutation(module, rng, arities)
+                 for __ in range(N_RACE)]
+    t0 = time.perf_counter()
+    verdicts = [engine.run_mutant(idx, mutant)
+                for idx, mutant, __ in proposals]
+    mutants_s = time.perf_counter() - t0
+
+    per_mutation_speedup = (full_s / N_RACE) / (mutants_s / N_RACE)
+    report = {
+        "design": "r16",
+        "mutations": N_RACE,
+        "gates": len(module.gates),
+        "full_s": round(full_s, 3),
+        "differential_s": round(diff_s, 3),
+        "differential_mutants_s": round(mutants_s, 3),
+        "campaign_speedup": round(full_s / diff_s, 2),
+        "per_mutation_speedup": round(per_mutation_speedup, 2),
+        "mean_cone_size": round(sum(v.cone_size for v in verdicts)
+                                / len(verdicts), 1),
+        "mean_gates_evaluated": round(
+            sum(v.gates_evaluated for v in verdicts) / len(verdicts), 1),
+        "early_exit_rate": round(sum(1 for v in verdicts if v.early_exit)
+                                 / len(verdicts), 3),
+        "detected": diff.detected,
+        "cpu_count": os.cpu_count(),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    report_sink("fault_sim_race",
+                "\n".join(f"{k:>24}: {v}" for k, v in report.items()))
+    assert per_mutation_speedup >= 5.0

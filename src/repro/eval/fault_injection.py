@@ -6,12 +6,31 @@ replacing one cell's function with a different same-arity function, or
 swapping two input pins — and measures how often a modest co-simulation
 battery catches the mutation.  High mutation coverage is evidence the
 equivalence tests in this repository actually constrain the netlists.
+
+Campaigns run in one of two modes, bit-identical by construction and
+raced against each other in CI:
+
+* ``mode="full"`` — the historic path: clone the module, apply the
+  mutation, re-simulate everything, compare against the battery's
+  expected words.  O(module) per mutation; kept as the reference.
+* ``mode="differential"`` (default) — simulate the golden module once
+  per campaign and judge each mutant by propagating its XOR difference
+  word through the mutated gate's fan-out cone only, early-exiting the
+  moment a difference reaches an observed output bit (see
+  :mod:`repro.hdl.sim.differential`).  O(cone) per mutation — the
+  speedup ``benchmarks/bench_fault_injection.py`` records in
+  ``BENCH_fault_sim.json``.
+
+The battery itself is data now (:class:`Battery`: stimulus + expected
+output words per pattern), so both modes derive their verdicts from the
+same comparisons; the legacy callable checkers remain as thin wrappers.
 """
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.hdl.cell import cell_num_inputs
 from repro.hdl.module import Gate, Module, Register
@@ -21,7 +40,7 @@ _MUTATION_POOLS = {
     1: ["INV", "BUF"],
     2: ["AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"],
     3: ["AND3", "OR3", "NAND3", "NOR3", "XOR3", "MAJ3", "AOI21", "OAI21"],
-    4: ["AO22"],
+    4: ["AO22", "OA22"],
 }
 
 
@@ -56,6 +75,9 @@ class CoverageResult:
         ]
         for mutation in self.survivors[:10]:
             lines.append(f"  survivor: {mutation.description}")
+        hidden = len(self.survivors) - 10
+        if hidden > 0:
+            lines.append(f"  … and {hidden} more survivors")
         return "\n".join(lines)
 
 
@@ -80,19 +102,24 @@ _MEANINGFUL_SWAPS = {
     "AOI21": [(0, 2), (1, 2)],
     "OAI21": [(0, 2), (1, 2)],
     "AO22": [(0, 2), (0, 3), (1, 2), (1, 3)],
+    "OA22": [(0, 2), (0, 3), (1, 2), (1, 3)],
 }
 
 
-def inject_mutation(module, rng):
-    """Apply one random functional mutation in place; returns Mutation.
+def propose_mutation(module, rng, arities=None):
+    """Draw one random functional mutation without applying it.
 
-    Mutations: change a cell kind within its arity pool, or swap two
-    input pins where the cell is not commutative in them.
+    Returns ``(gate_index, mutant_gate, Mutation)``.  ``arities`` is the
+    optional precomputed per-gate input count list — campaigns compute
+    it once and share it across every mutation (and both modes), instead
+    of re-deriving cell arities per attempt.  The rng draw sequence is
+    the historic ``inject_mutation`` one, so seeds reproduce.
     """
     for __ in range(100):
         idx = rng.randrange(len(module.gates))
         gate = module.gates[idx]
-        arity = cell_num_inputs(gate.kind)
+        arity = arities[idx] if arities is not None \
+            else cell_num_inputs(gate.kind)
         choices = [k for k in _MUTATION_POOLS.get(arity, [])
                    if k != gate.kind]
         swaps = [(i, j) for i, j in _MEANINGFUL_SWAPS.get(gate.kind, [])
@@ -107,36 +134,201 @@ def inject_mutation(module, rng):
         move = rng.choice(moves)
         if move == "rekind":
             new_kind = rng.choice(choices)
-            module.gates[idx] = Gate(new_kind, gate.inputs, gate.output,
-                                     gate.block)
-            return Mutation(idx, f"gate {idx}: {gate.kind} -> {new_kind} "
-                                 f"in {gate.block!r}")
+            mutant = Gate(new_kind, gate.inputs, gate.output, gate.block)
+            return idx, mutant, Mutation(
+                idx, f"gate {idx}: {gate.kind} -> {new_kind} "
+                     f"in {gate.block!r}")
         i, j = rng.choice(swaps)
         ins = list(gate.inputs)
         ins[i], ins[j] = ins[j], ins[i]
-        module.gates[idx] = Gate(gate.kind, tuple(ins), gate.output,
-                                 gate.block)
-        return Mutation(idx, f"gate {idx}: swapped pins {i}/{j} of "
-                             f"{gate.kind} in {gate.block!r}")
+        mutant = Gate(gate.kind, tuple(ins), gate.output, gate.block)
+        return idx, mutant, Mutation(
+            idx, f"gate {idx}: swapped pins {i}/{j} of "
+                 f"{gate.kind} in {gate.block!r}")
     raise SimulationError("could not find a mutable gate")
 
 
-def mutation_coverage(module, checker, n_mutations=40, seed=2017):
+def inject_mutation(module, rng):
+    """Apply one random functional mutation in place; returns Mutation.
+
+    Mutations: change a cell kind within its arity pool, or swap two
+    input pins where the cell is not commutative in them.
+    """
+    idx, mutant, mutation = propose_mutation(module, rng)
+    module.gates[idx] = mutant
+    return mutation
+
+
+# ----------------------------------------------------------------------
+# the battery as data
+# ----------------------------------------------------------------------
+
+@dataclass
+class Battery:
+    """A co-simulation battery in data form.
+
+    ``stimulus`` maps input bus names to per-pattern words;
+    ``expected`` maps output bus names to per-pattern expected words,
+    with ``None`` marking unchecked positions (pipeline fill cycles).
+    Both campaign modes judge mutants against exactly these
+    comparisons, which is what makes them bit-identical.
+    """
+
+    stimulus: Dict[str, List[int]]
+    n_patterns: int
+    expected: Dict[str, List[Optional[int]]]
+
+    def check_run(self, module, run):
+        """True when ``run`` meets every checked expectation."""
+        for name, words in self.expected.items():
+            got = run.bus_words(module.outputs[name])
+            for t, want in enumerate(words):
+                if want is not None and got[t] != want:
+                    return False
+        return True
+
+    def checker(self):
+        """A full-mode callable: simulate the module, compare words."""
+        from repro.hdl.sim.levelized import LevelizedSimulator
+
+        def check(module):
+            run = LevelizedSimulator(module).run(self.stimulus,
+                                                 self.n_patterns)
+            return self.check_run(module, run)
+
+        return check
+
+    def observation(self, module):
+        """The net-level :class:`Observation` of the checked positions."""
+        from repro.hdl.sim.differential import Observation
+
+        masks: Dict[int, int] = {}
+        for name, words in self.expected.items():
+            window = 0
+            for t, want in enumerate(words):
+                if want is not None:
+                    window |= 1 << t
+            if not window:
+                continue
+            for net in module.outputs[name]:
+                masks[net] = masks.get(net, 0) | window
+        return Observation(masks=masks)
+
+
+def multiplier_battery(module, cases):
+    """The 64x64 multiplier battery: ``p`` must equal ``x * y``.
+
+    An ``L``-stage pipeline answers ``cases[t]`` at pattern
+    ``t + L - 1``; the fill positions are unchecked.
+    """
+    latency = module.stage_count() - 1
+    expected: List[Optional[int]] = [None] * len(cases)
+    for t in range(len(cases) - latency):
+        x, y = cases[t]
+        expected[t + latency] = x * y
+    return Battery(stimulus={"x": [c[0] for c in cases],
+                             "y": [c[1] for c in cases]},
+                   n_patterns=len(cases),
+                   expected={"p": expected})
+
+
+def mf_battery(operations):
+    """The MF-unit battery: ``ph``/``pl`` vs the functional model.
+
+    Mirrors :meth:`repro.core.pipeline_unit.MFMultUnit.run_batch`'s
+    stimulus (pipeline flush cycles padded with the last operation) and
+    checks exactly the words the legacy checker compared.
+    """
+    from repro.core.mfmult import MFMult
+    from repro.core.pipeline_unit import FRMT_OF, LATENCY
+
+    mf = MFMult(fidelity="fast")
+    n = len(operations) + LATENCY
+    xs = [bundle.x for bundle, __ in operations]
+    ys = [bundle.y for bundle, __ in operations]
+    fs = [FRMT_OF[fmt] for __, fmt in operations]
+    xs += [xs[-1]] * LATENCY
+    ys += [ys[-1]] * LATENCY
+    fs += [fs[-1]] * LATENCY
+    exp_ph: List[Optional[int]] = [None] * n
+    exp_pl: List[Optional[int]] = [None] * n
+    for t, (bundle, fmt) in enumerate(operations):
+        res = mf.multiply(bundle, fmt)
+        exp_ph[t + LATENCY] = res.ph
+        exp_pl[t + LATENCY] = res.pl
+    return Battery(stimulus={"x": xs, "y": ys, "frmt": fs},
+                   n_patterns=n,
+                   expected={"ph": exp_ph, "pl": exp_pl})
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+
+def mutation_coverage(module, checker=None, n_mutations=40, seed=2017,
+                      mode="full", battery=None):
     """Run a campaign: mutate, check, count detections.
 
+    ``mode="full"`` clones and fully re-simulates per mutation;
     ``checker(module) -> bool`` returns True when the (possibly broken)
     module still passes the battery — i.e. the mutation *survived*.
+    When a :class:`Battery` is given instead of a checker, the full-mode
+    checker derives from it.
+
+    ``mode="differential"`` (requires ``battery``) shares one golden
+    simulation across all mutations and re-evaluates fan-out cones only
+    — same :class:`CoverageResult`, measured fraction of the work.  In
+    the degenerate case where the golden module itself fails its
+    battery, the campaign silently falls back to full mode (where every
+    mutant fails too), so the modes never diverge.
     """
+    if mode not in ("full", "differential"):
+        raise SimulationError(f"unknown campaign mode {mode!r}")
     rng = random.Random(seed)
+    arities = [cell_num_inputs(gate.kind) for gate in module.gates]
+    reg = obs.registry()
+
+    engine = None
+    if mode == "differential":
+        if battery is None:
+            raise SimulationError("differential mode needs a battery")
+        from repro.hdl.sim.differential import DifferentialEngine
+
+        engine = DifferentialEngine(module, battery.stimulus,
+                                    battery.n_patterns,
+                                    battery.observation(module))
+        if not battery.check_run(module, engine.golden):
+            reg.inc("fault.golden_mismatch")
+            mode = "full"
+            engine = None
+    if mode == "full" and checker is None:
+        if battery is None:
+            raise SimulationError("full mode needs a checker or battery")
+        checker = battery.checker()
+
     result = CoverageResult(attempted=0, detected=0)
-    for __ in range(n_mutations):
-        twin = clone_module(module)
-        mutation = inject_mutation(twin, rng)
-        result.attempted += 1
-        if checker(twin):
-            result.survivors.append(mutation)
-        else:
-            result.detected += 1
+    with obs.span("fault:campaign", cat="fault", module=module.name,
+                  mode=mode, mutations=n_mutations):
+        for __ in range(n_mutations):
+            idx, mutant, mutation = propose_mutation(module, rng, arities)
+            result.attempted += 1
+            reg.inc("fault.mutations")
+            if engine is not None:
+                verdict = engine.run_mutant(idx, mutant)
+                reg.inc("fault.gates_evaluated", verdict.gates_evaluated)
+                reg.observe_value("fault.cone_size", verdict.cone_size)
+                if verdict.early_exit:
+                    reg.inc("fault.early_exits")
+                survived = not verdict.detected
+            else:
+                twin = clone_module(module)
+                twin.gates[idx] = mutant
+                survived = checker(twin)
+            if survived:
+                result.survivors.append(mutation)
+            else:
+                result.detected += 1
+                reg.inc("fault.detected")
     return result
 
 
@@ -190,24 +382,35 @@ def mf_operations(n=12, case_seed=2):
     return ops
 
 
-def coverage_chunk(which="r16", n_mutations=10, seed=7):
+def campaign_battery(which, module):
+    """The standard seeded battery for campaign target ``which``."""
+    if which == "r16":
+        return multiplier_battery(module, r16_cases())
+    if which == "mf":
+        return mf_battery(mf_operations())
+    raise ValueError(f"unknown campaign target {which!r}")
+
+
+def coverage_chunk(which="r16", n_mutations=10, seed=7,
+                   mode="differential"):
     """One campaign shard — a parallelizable leaf job.
 
     Builds the target module and its co-simulation battery from fixed
-    case seeds, then runs ``n_mutations`` mutations drawn from ``seed``.
+    case seeds, then runs ``n_mutations`` mutations drawn from ``seed``
+    in the requested ``mode`` (the golden simulation and the fan-out
+    precomputation are shared across the whole chunk).
     """
     from repro.eval.experiments import cached_module
 
     if which == "r16":
         module = cached_module("r16")
-        checker = multiplier_checker(r16_cases())
     elif which == "mf":
         module = cached_module("mf")
-        checker = mf_unit_checker(mf_operations())
     else:
         raise ValueError(f"unknown campaign target {which!r}")
-    return mutation_coverage(module, checker, n_mutations=n_mutations,
-                             seed=seed)
+    battery = campaign_battery(which, module)
+    return mutation_coverage(module, n_mutations=n_mutations, seed=seed,
+                             mode=mode, battery=battery)
 
 
 def chunk_plan(n_mutations, seed, chunks):
@@ -233,15 +436,17 @@ def merge_coverage(results):
 
 
 def experiment_fault_coverage(which="r16", n_mutations=40, seed=7,
-                              chunks=4):
+                              chunks=4, mode="differential"):
     """Mutation coverage of the co-simulation battery for ``which``.
 
     The campaign is split into ``chunks`` independently seeded shards
     (see :func:`chunk_plan`); running them serially here or in parallel
-    through the orchestrator yields the same merged result.
+    through the orchestrator yields the same merged result, as does
+    either campaign ``mode``.
     """
     return merge_coverage(
-        [coverage_chunk(which=which, n_mutations=size, seed=chunk_seed)
+        [coverage_chunk(which=which, n_mutations=size, seed=chunk_seed,
+                        mode=mode)
          for chunk_seed, size in chunk_plan(n_mutations, seed, chunks)])
 
 

@@ -33,7 +33,8 @@ DEFAULT_OUTPUT = (Path(__file__).resolve().parents[3]
 
 
 def report_sections(n_cycles=12, include_sweeps=True,
-                    include_verification=True, mutations=12):
+                    include_verification=True, mutations=12,
+                    fault_mode="differential"):
     """The ordered ``(title, experiment, params)`` section list."""
     sections: List[Tuple[str, str, Dict]] = [
         ("Table I — radix-16 multiplier", "table1", {}),
@@ -65,15 +66,16 @@ def report_sections(n_cycles=12, include_sweeps=True,
     if include_verification:
         sections += [
             ("Verification — mutation coverage (radix-16)", "fault_r16",
-             {"n_mutations": mutations}),
+             {"n_mutations": mutations, "mode": fault_mode}),
             ("Verification — mutation coverage (MF unit)", "fault_mf",
-             {"n_mutations": mutations}),
+             {"n_mutations": mutations, "mode": fault_mode}),
         ]
     return sections
 
 
 def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
-                    include_verification=False, mutations=12, workers=0,
+                    include_verification=False, mutations=12,
+                    fault_mode="differential", workers=0,
                     cache=True, filters=None, metrics=None):
     """Run all experiments; returns the report text (and writes it).
 
@@ -96,7 +98,8 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
     sections = report_sections(n_cycles=n_cycles,
                                include_sweeps=include_sweeps,
                                include_verification=include_verification,
-                               mutations=mutations)
+                               mutations=mutations,
+                               fault_mode=fault_mode)
     if filters:
         sections = [s for s in sections
                     if any(f in s[1] or f in s[0] for f in filters)]
@@ -189,6 +192,12 @@ def main(argv=None):
     parser.add_argument("--mutations", type=int, default=12,
                         help="mutations per fault-injection campaign "
                              "(default 12)")
+    parser.add_argument("--fault-mode", default="differential",
+                        choices=("differential", "full"),
+                        help="fault-campaign engine: shared-golden "
+                             "cone propagation (default) or full "
+                             "re-simulation per mutant — coverage "
+                             "results are bit-identical")
     parser.add_argument("--no-sweeps", action="store_true",
                         help="skip the ablation sweep sections")
     parser.add_argument("--no-verification", action="store_true",
@@ -206,6 +215,7 @@ def main(argv=None):
         include_sweeps=not args.no_sweeps,
         include_verification=not args.no_verification,
         mutations=args.mutations,
+        fault_mode=args.fault_mode,
         workers=args.workers,
         cache=not args.no_cache,
         filters=args.filter,

@@ -88,6 +88,11 @@ def _ao22(m, a, b, c, d):
     return (a & b) | (c & d)
 
 
+def _oa22(m, a, b, c, d):
+    """OR-AND cell ``(a | b) & (c | d)`` — the AO22 dual."""
+    return (a | b) & (c | d)
+
+
 #: kind -> (evaluation function, number of inputs)
 CELL_KINDS = {
     "INV": (_inv, 1),
@@ -108,6 +113,7 @@ CELL_KINDS = {
     "AOI21": (_aoi21, 3),
     "OAI21": (_oai21, 3),
     "AO22": (_ao22, 4),
+    "OA22": (_oa22, 4),
 }
 
 

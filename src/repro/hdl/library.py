@@ -97,6 +97,7 @@ _DEFAULT_CELLS = {
     "AOI21": CellSpec("AOI21", 1.50, 13.0, 13.0, 1.1),
     "OAI21": CellSpec("OAI21", 1.50, 13.0, 13.0, 1.1),
     "AO22":  CellSpec("AO22",  1.75, 19.5,  9.0, 1.0),
+    "OA22":  CellSpec("OA22",  1.75, 20.5,  9.0, 1.0),
 }
 
 

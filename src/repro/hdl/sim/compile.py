@@ -63,6 +63,7 @@ EXPR_TEMPLATES = {
     "AOI21": "({M} ^ (({0} & {1}) | {2}))",
     "OAI21": "({M} ^ (({0} | {1}) & {2}))",
     "AO22": "(({0} & {1}) | ({2} & {3}))",
+    "OA22": "(({0} | {1}) & ({2} | {3}))",
 }
 
 _missing = set(CELL_KINDS) - set(EXPR_TEMPLATES)
@@ -100,16 +101,24 @@ def _compile_chunks(statements, tag):
     return fns
 
 
-def _compile_eval_factories(gates, tag):
-    """Exec chunks of ``lambda:`` appends building per-gate closures."""
+def _compile_eval_factories(gates, tag, mask_name="1"):
+    """Exec chunks of ``lambda:`` appends building per-gate closures.
+
+    With the default ``mask_name="1"`` the closures are scalar (the
+    event simulator's case).  With ``mask_name="M"`` the generated
+    functions take the all-patterns mask as an argument and the closures
+    evaluate **bit-parallel** over the packed pattern words — what the
+    differential fault engine binds against its overlay value list.
+    """
     fns = []
     gates = list(gates)
+    args = "v, a" if mask_name == "1" else "v, M, a"
     with obs.span("compile:kernel", cat="compile", tag=tag,
                   statements=len(gates)):
         for start in range(0, len(gates), CHUNK_STATEMENTS):
-            body = [f"a(lambda: {gate_expr(g, mask_name='1')})"
+            body = [f"a(lambda: {gate_expr(g, mask_name=mask_name)})"
                     for g in gates[start:start + CHUNK_STATEMENTS]] or ["pass"]
-            src = "def _k(v, a):\n    " + "\n    ".join(body)
+            src = f"def _k({args}):\n    " + "\n    ".join(body)
             namespace = {}
             code = compile(src, f"<repro.hdl.sim.compile:{tag}:{start}>",
                            "exec")
@@ -145,6 +154,8 @@ class CompiledModule:
     _settle_fns: Optional[List[Callable]] = field(repr=False, default=None)
     _eval_factories: Optional[List[Callable]] = field(repr=False,
                                                       default=None)
+    _masked_eval_factories: Optional[List[Callable]] = field(repr=False,
+                                                             default=None)
 
     def run_levelized(self, values, m):
         """Evaluate every gate and register time-shift, bit-parallel."""
@@ -178,6 +189,25 @@ class CompiledModule:
         evals = []
         for fn in factories:
             fn(values, evals.append)
+        return evals
+
+    def make_masked_gate_evals(self, values, m):
+        """Bit-parallel per-gate closures under all-patterns mask ``m``.
+
+        Index ``g`` recomputes gate ``g``'s packed pattern word from the
+        current ``values`` — the differential fault engine's inner loop.
+        The factories are mask-agnostic and cached; the mask binds per
+        call, so engines over different pattern counts share them.
+        """
+        factories = self._masked_eval_factories
+        if factories is None:
+            factories = self._masked_eval_factories = \
+                _compile_eval_factories(self._gates,
+                                        f"{self._tag}:masked-evals",
+                                        mask_name="M")
+        evals = []
+        for fn in factories:
+            fn(values, m, evals.append)
         return evals
 
     @property

@@ -6,6 +6,9 @@ import pytest
 
 from repro.eval.experiments import cached_module
 from repro.eval.fault_injection import (
+    _MUTATION_POOLS,
+    CoverageResult,
+    Mutation,
     clone_module,
     inject_mutation,
     multiplier_checker,
@@ -47,6 +50,21 @@ class TestMutation:
                                                         twin.gates))
                        if a != b]
             assert changed == [mutation.gate_index]
+
+    def test_arity4_pool_has_a_rekind(self):
+        """AO22 must have a same-arity alternative (its OA22 dual) —
+        otherwise arity-4 gates can only ever mutate by pin swap."""
+        assert sorted(_MUTATION_POOLS[4]) == ["AO22", "OA22"]
+
+    def test_ao22_rekind_reachable(self, r16):
+        rng = random.Random(12)
+        rekinds = set()
+        for __ in range(200):
+            twin = clone_module(r16)
+            mutation = inject_mutation(twin, rng)
+            if "AO22 ->" in mutation.description:
+                rekinds.add(twin.gates[mutation.gate_index].kind)
+        assert "OA22" in rekinds
 
     def test_commutative_swaps_not_generated(self, r16):
         """AO22 swaps must cross the product pairs; intra-pair swaps are
@@ -93,3 +111,14 @@ class TestCoverage:
                                    n_mutations=5, seed=9)
         text = result.render()
         assert "mutations injected : 5" in text
+
+    def test_render_reports_hidden_survivors(self):
+        survivors = [Mutation(i, f"gate {i}: fake") for i in range(14)]
+        result = CoverageResult(attempted=20, detected=6,
+                                survivors=survivors)
+        text = result.render()
+        assert text.count("survivor:") == 10
+        assert "… and 4 more survivors" in text
+        short = CoverageResult(attempted=20, detected=10,
+                               survivors=survivors[:10])
+        assert "more survivors" not in short.render()

@@ -32,6 +32,7 @@ TRUTH = {
     "AOI21": lambda a, b, c: 1 - ((a & b) | c),
     "OAI21": lambda a, b, c: 1 - ((a | b) & c),
     "AO22": lambda a, b, c, d: (a & b) | (c & d),
+    "OA22": lambda a, b, c, d: (a | b) & (c | d),
 }
 
 
