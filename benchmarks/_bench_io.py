@@ -1,0 +1,66 @@
+"""Shared result-envelope writer for the ``BENCH_*.json`` artifacts.
+
+Every benchmark that persists machine-readable numbers at the repository
+root goes through :func:`write_bench`, which wraps the payload in one
+common envelope::
+
+    {
+      "schema": "repro.bench/1",
+      "bench": "<name>",
+      "seed": <seed or null>,
+      "host": {"cpu_count": ..., "platform": ..., "machine": ...},
+      "versions": {"python": ..., "repro": ...},
+      "results": {...}              # the benchmark's own payload
+    }
+
+The envelope exists so downstream comparisons (CI artifact diffs, the
+paper report pipeline) can tell *where* a number came from — most
+importantly the honest ``cpu_count`` of the host, since several
+benchmarks measure parallel speedups that are meaningless without it.
+"""
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro import __version__ as _repro_version
+
+#: Envelope schema identifier; bump on incompatible layout changes.
+SCHEMA = "repro.bench/1"
+
+#: Repository root — BENCH_*.json artifacts live here (CI uploads them).
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def host_info():
+    """Honest facts about the machine the numbers were measured on."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def envelope(name, payload, seed=None):
+    """Wrap ``payload`` in the repro.bench/1 envelope (pure, no I/O)."""
+    return {
+        "schema": SCHEMA,
+        "bench": name,
+        "seed": seed,
+        "host": host_info(),
+        "versions": {
+            "python": sys.version.split()[0],
+            "repro": _repro_version,
+        },
+        "results": payload,
+    }
+
+
+def write_bench(name, payload, seed=None):
+    """Write ``BENCH_<name>.json`` at the repo root; returns its path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(envelope(name, payload, seed=seed),
+                               indent=2) + "\n")
+    return path

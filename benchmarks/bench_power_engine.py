@@ -8,16 +8,15 @@ event simulator per call, full per-cycle stimulus dicts, per-gate
 levelized pattern words, and the compiled C event kernel when a system
 compiler is present (pure-Python time wheel otherwise).
 
-Emits ``BENCH_power_engine.json`` at the repository root with the
-per-design numbers; the equivalence of per-net toggle counts between
-the two paths is asserted in the same breath.
+Emits ``BENCH_power_engine.json`` (repro.bench/1 envelope) at the
+repository root with the per-design numbers; the equivalence of per-net
+toggle counts between the two paths is asserted in the same breath.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
+from _bench_io import write_bench
 from repro.eval.experiments import cached_module
 from repro.eval.workloads import WorkloadGenerator
 from repro.hdl.library import default_library
@@ -32,9 +31,9 @@ from repro.hdl.sim.levelized import LevelizedSimulator
 #: is the slow one being measured.
 N_CYCLES = int(os.environ.get("REPRO_ENGINE_BENCH_CYCLES", "8"))
 
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_power_engine.json"
-
 DESIGNS = ("r16", "r16_pipe", "mf")
+
+SEED = 2017
 
 
 def _stimulus(which, gen, n_cycles):
@@ -50,7 +49,7 @@ def test_bench_power_engine(report_sink):
     kernel = "python"
     for which in DESIGNS:
         module = cached_module(which)
-        gen = WorkloadGenerator(2017)
+        gen = WorkloadGenerator(SEED)
         stim = _stimulus(which, gen, N_CYCLES)
         run = LevelizedSimulator(module).run(stim, N_CYCLES)
 
@@ -81,7 +80,7 @@ def test_bench_power_engine(report_sink):
         "kernel": kernel,
         "designs": results,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench("power_engine", payload, seed=SEED)
 
     lines = [f"glitch replay engine, {transitions} transitions "
              f"(kernel: {kernel})"]

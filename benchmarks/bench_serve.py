@@ -1,0 +1,84 @@
+"""Serving throughput: one-transaction-per-word vs coalesced words.
+
+The bit-parallel levelized kernel charges by the gate count, not the
+pattern count, so a simulation word carrying 64 independent transactions
+costs barely more than a word carrying one.  This benchmark races the
+two service configurations of :mod:`repro.serve` under the seeded
+mixed-format load generator:
+
+* **baseline** — ``max_batch=1``: every transaction dispatches its own
+  word (what calling :class:`~repro.core.mfmult.MFMult` through the
+  netlist per operation amounts to);
+* **coalesced** — ``max_batch=64``: the server packs full words under
+  saturating bursty load.
+
+Both runs verify every result bit-for-bit against
+:func:`repro.serve.transactions.reference_result`, so the speedup is
+measured *with* the correctness check that batching changes nothing.
+
+Emits ``BENCH_serve.json`` (repro.bench/1 envelope) at the repo root.
+"""
+
+import os
+
+from _bench_io import write_bench
+from repro.serve.loadgen import run_load, warm_engines
+
+SEED = int(os.environ.get("REPRO_SERVE_BENCH_SEED", "2017"))
+
+#: Request counts — the baseline pays ~1.5 ms *per transaction*, so it
+#: gets a smaller sample; the coalesced run needs enough words for the
+#: occupancy statistics to mean something.
+BASELINE_REQUESTS = int(os.environ.get("REPRO_SERVE_BENCH_BASELINE", "128"))
+COALESCED_REQUESTS = int(os.environ.get("REPRO_SERVE_BENCH_REQUESTS", "2048"))
+
+#: Acceptance gates (ISSUE 6): sustained speedup and mean occupancy.
+MIN_SPEEDUP = float(os.environ.get("REPRO_SERVE_BENCH_MIN_SPEEDUP", "20"))
+MIN_OCCUPANCY = float(os.environ.get("REPRO_SERVE_BENCH_MIN_OCCUPANCY", "48"))
+
+#: Saturating load: large bursts, no inter-burst gap, generous timeout
+#: so words fill rather than flush early.
+LOAD = dict(seed=SEED, burst_mean=64, gap_ms=0.0, specials=0.02,
+            max_wait=0.05, verify=True, warm=False)
+
+
+def _fmt(record):
+    lat = record["latency_ms"]
+    return (f"{record['mode']:<9} {record['requests']:>5} req "
+            f"{record['wall_s']:7.3f} s  {record['requests_per_s']:>9.0f} "
+            f"req/s  occ {record['mean_occupancy']:6.2f}/64  "
+            f"p50/p99 {lat['p50']:.1f}/{lat['p99']:.1f} ms")
+
+
+def test_bench_serve(report_sink):
+    warm_engines()  # module build + kernel compile stay out of the race
+
+    baseline = run_load(requests=BASELINE_REQUESTS, baseline=True, **LOAD)
+    coalesced = run_load(requests=COALESCED_REQUESTS, baseline=False, **LOAD)
+
+    assert baseline["mismatches"] == 0, "baseline diverged from MFMult"
+    assert coalesced["mismatches"] == 0, "coalesced diverged from MFMult"
+
+    speedup = (coalesced["requests_per_s"] / baseline["requests_per_s"]
+               if baseline["requests_per_s"] else float("inf"))
+    payload = {
+        "baseline": baseline,
+        "coalesced": coalesced,
+        "speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "min_occupancy_gate": MIN_OCCUPANCY,
+    }
+    write_bench("serve", payload, seed=SEED)
+
+    lines = ["transaction-batched service, mixed-format saturating load",
+             _fmt(baseline), _fmt(coalesced),
+             f"speedup {speedup:.1f}x  (gate >= {MIN_SPEEDUP:.0f}x)  "
+             f"occupancy {coalesced['mean_occupancy']:.2f}/64 "
+             f"(gate >= {MIN_OCCUPANCY:.0f})"]
+    report_sink("serve", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"coalescing speedup {speedup:.1f}x below {MIN_SPEEDUP}x gate")
+    assert coalesced["mean_occupancy"] >= MIN_OCCUPANCY, (
+        f"mean occupancy {coalesced['mean_occupancy']} below "
+        f"{MIN_OCCUPANCY}/64")

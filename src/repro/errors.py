@@ -25,6 +25,14 @@ class PipelineError(ReproError):
     """A pipeline partition is inconsistent with the underlying netlist."""
 
 
+class QueueFullError(ReproError):
+    """A bounded service queue rejected a transaction (backpressure).
+
+    Raised by non-blocking submits against a full lane, and by blocking
+    submits whose wait timed out before capacity freed up.
+    """
+
+
 class UnsupportedOperationError(ReproError):
     """The requested operation is outside the unit's supported behaviour.
 

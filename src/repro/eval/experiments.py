@@ -118,6 +118,7 @@ def cached_module(which):
         "r4_pipe": lambda: radix4_multiplier(pipeline_cut="after_ppgen"),
         "r8": lambda: radix8_multiplier(),
         "mf": lambda: build_mf_multiplier(),
+        "mf_quad": lambda: build_mf_multiplier(quad_fp16=True),
         "reducer": lambda: build_reducer(),
     }
     builder = builders[which]

@@ -315,6 +315,17 @@ def run_graph(jobs, workers=0, cache=None):
     ready = [name for name in order if waiting[name] == 0]
     ready.sort(key=lambda n: -by_name[n].weight)
 
+    cpus = os.cpu_count() or 1
+    reg = obs.registry()
+    reg.gauge("orchestrator.workers.requested", workers)
+    reg.gauge("orchestrator.workers.cpu_count", cpus)
+    if workers > cpus:
+        # More worker processes than cores is oversubscription, not
+        # speedup — the pool still runs, but any "parallel speedup"
+        # measured this way is GIL-free time slicing.  Count it so
+        # benchmarks can report the honest effective parallelism.
+        reg.inc("orchestrator.workers.oversubscribed")
+
     import multiprocessing
 
     try:

@@ -1,0 +1,38 @@
+"""repro.serve — the transaction-batched multiplier-as-a-service layer.
+
+The bit-parallel levelized simulator evaluates up to 64 patterns per
+gate word; this package exposes that capacity as a throughput engine: a
+long-lived :class:`Server` coalesces independent multiply / reduction
+transactions from many callers into full simulation words, dispatches
+them through the compiled netlists, and demultiplexes per-transaction
+results — the paper's dual-lane "don't waste idle datapath" idea lifted
+to the system level.
+
+Entry points:
+
+* :class:`Server` / :class:`Client` — threaded service + sync API;
+* :class:`AsyncClient` — asyncio front end for massive in-flight counts;
+* :class:`Transaction` / :class:`TxResult` / :class:`TxKind` — the wire
+  vocabulary; :func:`reference_result` is the unbatched oracle;
+* ``python -m repro.serve.loadgen`` — the seeded mixed-format load
+  generator (see ``benchmarks/bench_serve.py`` / ``BENCH_serve.json``).
+"""
+
+from repro.errors import QueueFullError
+from repro.serve.aio import AsyncClient
+from repro.serve.engine import LaneEngine, lane_engine
+from repro.serve.queueing import BatchingQueue
+from repro.serve.server import Client, Server, Ticket
+from repro.serve.transactions import (
+    WORD_PATTERNS,
+    Transaction,
+    TxKind,
+    TxResult,
+    reference_result,
+)
+
+__all__ = [
+    "AsyncClient", "BatchingQueue", "Client", "LaneEngine", "QueueFullError",
+    "Server", "Ticket", "Transaction", "TxKind", "TxResult",
+    "WORD_PATTERNS", "lane_engine", "reference_result",
+]

@@ -1,0 +1,80 @@
+"""Asyncio front end: thousands of in-flight transactions, one word.
+
+:class:`AsyncClient` bridges the threaded :class:`~repro.serve.server.Server`
+into an event loop.  Each ``await submit(...)`` parks an
+``asyncio.Future`` that the dispatcher thread resolves through
+``Ticket.add_done_callback`` -> ``loop.call_soon_threadsafe`` — no
+polling, no thread per request.  Backpressure surfaces as cooperative
+waiting: a full lane makes the coroutine ``await`` and retry instead of
+blocking the loop, so a load generator can keep tens of thousands of
+logical requests in flight over a bounded queue.
+"""
+
+import asyncio
+
+from repro.errors import QueueFullError
+from repro.serve.transactions import Transaction
+
+#: Initial retry delay when a lane is full (doubles up to the cap).
+_BACKOFF_S = 0.001
+_BACKOFF_CAP_S = 0.05
+
+
+class AsyncClient:
+    """Awaitable submission API over a running :class:`Server`."""
+
+    def __init__(self, server):
+        self.server = server
+
+    async def submit(self, tx):
+        """Submit one transaction; returns its TxResult when resolved."""
+        loop = asyncio.get_running_loop()
+        backoff = _BACKOFF_S
+        while True:
+            try:
+                ticket = self.server.submit(tx, block=False)
+                break
+            except QueueFullError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_CAP_S)
+        future = loop.create_future()
+
+        def _bridge(t):
+            try:
+                result = t.result(timeout=0)
+            except Exception as exc:        # noqa: BLE001 - forwarded
+                loop.call_soon_threadsafe(_set_exception, future, exc)
+            else:
+                loop.call_soon_threadsafe(_set_result, future, result)
+
+        ticket.add_done_callback(_bridge)
+        return await future
+
+    async def mul_int64(self, x, y):
+        result = await self.submit(Transaction.int64(x, y))
+        return result.int128
+
+    async def mul_fp64(self, x, y):
+        from repro.bits.ieee754 import BINARY64, decode, encode
+
+        result = await self.submit(
+            Transaction.fp64(encode(x, BINARY64), encode(y, BINARY64)))
+        return decode(result.fp64_encoding, BINARY64)
+
+    async def reduce64(self, encoding64):
+        result = await self.submit(Transaction.reduce64(encoding64))
+        return result.reduced, result.ph
+
+    async def gather(self, txs):
+        """Submit many transactions concurrently; results in order."""
+        return await asyncio.gather(*(self.submit(tx) for tx in txs))
+
+
+def _set_result(future, result):
+    if not future.cancelled():
+        future.set_result(result)
+
+
+def _set_exception(future, exc):
+    if not future.cancelled():
+        future.set_exception(exc)

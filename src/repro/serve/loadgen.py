@@ -1,0 +1,311 @@
+"""Seeded mixed-format load generator for the simulation service.
+
+Models a population of independent callers hitting the server with
+bursty arrivals: requests come in geometric bursts (back-to-back
+submissions) separated by configurable gaps, drawn from a seeded RNG so
+every run is reproducible.  The traffic mix spans all five lanes —
+int64, fp64, dual fp32, quad fp16 multiplies and fp64->fp32 reduction
+probes — with optional IEEE special values sprinkled in to exercise the
+software-envelope path.
+
+Every completed transaction is checked bit-for-bit against
+:func:`repro.serve.transactions.reference_result` (``--no-verify`` to
+skip), so a load run is also a correctness campaign.
+
+CLI::
+
+    python -m repro.serve.loadgen --requests 512 --seed 7 \
+        --out run.json --metrics-json metrics.json --trace trace.json
+
+``--baseline`` forces ``max_batch=1`` — the one-transaction-per-word
+configuration ``benchmarks/bench_serve.py`` compares against.
+"""
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro import obs
+from repro.bits.ieee754 import BINARY16, BINARY32, BINARY64
+from repro.eval.workloads import WorkloadGenerator
+from repro.errors import FormatError
+from repro.serve.server import Server
+from repro.serve.transactions import (
+    WORD_PATTERNS,
+    Transaction,
+    TxKind,
+    reference_result,
+)
+
+#: Default traffic mix (fractions sum to 1).
+DEFAULT_MIX = {
+    "int64": 0.15,
+    "fp64": 0.30,
+    "fp32x2": 0.25,
+    "fp16x4": 0.15,
+    "reduce64": 0.15,
+}
+
+
+class TrafficGenerator:
+    """Seeded transaction stream over a lane mix, with optional specials."""
+
+    def __init__(self, seed=2017, mix=None, specials=0.0,
+                 reducible_fraction=0.5):
+        self._rng = random.Random(seed)
+        self._wl = WorkloadGenerator(seed ^ 0x5EED)
+        mix = dict(mix or DEFAULT_MIX)
+        total = sum(mix.values())
+        if total <= 0:
+            raise FormatError("traffic mix must have positive weight")
+        self._lanes = sorted(mix)
+        self._weights = [mix[lane] / total for lane in self._lanes]
+        self.specials = specials
+        self.reducible_fraction = reducible_fraction
+
+    def _special_encoding(self, fmt):
+        kind = self._rng.choice(("zero", "inf", "nan", "subnormal"))
+        sign = self._rng.getrandbits(1)
+        if kind == "zero":
+            return fmt.pack(sign, 0, 0)
+        if kind == "inf":
+            return fmt.pack(sign, fmt.exponent_mask, 0)
+        if kind == "nan":
+            return fmt.pack(sign, fmt.exponent_mask,
+                            self._rng.randint(1, 2 ** fmt.trailing_significand_bits - 1))
+        return fmt.pack(sign, 0,
+                        self._rng.randint(1, 2 ** fmt.trailing_significand_bits - 1))
+
+    def _fp_encoding(self, fmt):
+        if self.specials and self._rng.random() < self.specials:
+            return self._special_encoding(fmt)
+        if fmt is BINARY64:
+            return self._wl.normal_binary64()
+        if fmt is BINARY32:
+            return self._wl.normal_binary32()
+        return BINARY16.pack(self._rng.getrandbits(1),
+                             self._rng.randint(1, 30),
+                             self._rng.getrandbits(10))
+
+    def next_transaction(self):
+        lane = self._rng.choices(self._lanes, weights=self._weights)[0]
+        if lane == "int64":
+            return Transaction.int64(self._wl.uint64(), self._wl.uint64())
+        if lane == "fp64":
+            return Transaction.fp64(self._fp_encoding(BINARY64),
+                                    self._fp_encoding(BINARY64))
+        if lane == "fp32x2":
+            return Transaction.fp32_pair(
+                self._fp_encoding(BINARY32), self._fp_encoding(BINARY32),
+                self._fp_encoding(BINARY32), self._fp_encoding(BINARY32))
+        if lane == "fp16x4":
+            return Transaction.fp16_quad(
+                [self._fp_encoding(BINARY16) for _ in range(4)],
+                [self._fp_encoding(BINARY16) for _ in range(4)])
+        if self._rng.random() < self.reducible_fraction:
+            return Transaction.reduce64(self._wl.reducible_binary64())
+        return Transaction.reduce64(self._wl.normal_binary64())
+
+    def burst_size(self, mean):
+        """Geometric burst length with the given mean (>= 1)."""
+        if mean <= 1:
+            return 1
+        size = 1
+        p = 1.0 / mean
+        while self._rng.random() > p:
+            size += 1
+        return size
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    idx = min(len(sorted_values) - 1,
+              max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def warm_engines(mix=None):
+    """Build and compile every lane engine outside the timed window.
+
+    A long-lived server pays netlist construction once per process; the
+    load generator models the steady state, so module build/compile cost
+    must not be billed to the measured run.
+    """
+    from repro.serve.engine import lane_engine
+
+    lanes = set(mix or DEFAULT_MIX)
+    warmer = TrafficGenerator(seed=0, mix=mix)
+    for _ in range(64):
+        tx = warmer.next_transaction()
+        if tx.lane in lanes:
+            lane_engine(tx.kind).execute([tx])
+            lanes.discard(tx.lane)
+        if not lanes:
+            break
+
+
+def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
+             max_wait=0.02, max_depth=4096, burst_mean=16, gap_ms=0.0,
+             specials=0.02, mix=None, verify=True, warm=True):
+    """Drive one load run; returns the result record (JSON-ready).
+
+    ``baseline=True`` is the one-transaction-per-word configuration:
+    every word carries a single pattern, so the requests/sec it sustains
+    is the unbatched floor the coalescing server is measured against.
+    """
+    traffic = TrafficGenerator(seed=seed, mix=mix, specials=specials)
+    txs = [traffic.next_transaction() for _ in range(requests)]
+    if warm:
+        warm_engines(mix)
+
+    reg = obs.registry()
+    counters_before = dict(reg.snapshot()["counters"])
+
+    server = Server(max_batch=1 if baseline else max_batch,
+                    max_wait=max_wait, max_depth=max_depth)
+    tickets = []
+    t0 = time.perf_counter()
+    i = 0
+    while i < len(txs):
+        for _ in range(traffic.burst_size(burst_mean)):
+            if i >= len(txs):
+                break
+            tickets.append(server.submit(txs[i]))
+            i += 1
+        if gap_ms:
+            time.sleep(gap_ms / 1000.0)
+    server.drain()
+    wall_s = time.perf_counter() - t0
+    server.stop()
+
+    mismatches = 0
+    latencies_ms = []
+    per_lane = {}
+    for tx, ticket in zip(txs, tickets):
+        result = ticket.result(timeout=0)
+        latencies_ms.append(ticket.latency_s * 1e3)
+        per_lane[tx.lane] = per_lane.get(tx.lane, 0) + 1
+        if verify and result != reference_result(tx):
+            mismatches += 1
+    latencies_ms.sort()
+
+    snap = reg.snapshot()
+    counters = {
+        name: value - counters_before.get(name, 0)
+        for name, value in snap["counters"].items()
+        if name.startswith("serve.")
+    }
+    occupancy = snap["histograms"].get("serve.batch.occupancy", {})
+    flushes = {name.split(".", 2)[2]: value
+               for name, value in counters.items()
+               if name.startswith("serve.flushes.")}
+    n_flushes = sum(flushes.values())
+    record = {
+        "requests": requests,
+        "seed": seed,
+        "mode": "baseline" if baseline else "coalesced",
+        "max_batch": 1 if baseline else max_batch,
+        "max_wait_s": max_wait,
+        "burst_mean": burst_mean,
+        "gap_ms": gap_ms,
+        "specials_fraction": specials,
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(requests / wall_s, 3) if wall_s else None,
+        "per_lane_requests": dict(sorted(per_lane.items())),
+        "per_lane_requests_per_s": {
+            lane: round(n / wall_s, 3) for lane, n in sorted(per_lane.items())
+        } if wall_s else {},
+        "flushes": dict(sorted(flushes.items())),
+        "words_dispatched": n_flushes,
+        "mean_occupancy": (round(requests / n_flushes, 3)
+                           if n_flushes else None),
+        "word_capacity": WORD_PATTERNS,
+        "latency_ms": {
+            "p50": _percentile(latencies_ms, 0.50),
+            "p90": _percentile(latencies_ms, 0.90),
+            "p99": _percentile(latencies_ms, 0.99),
+            "max": latencies_ms[-1] if latencies_ms else None,
+        },
+        "software_lanes": counters.get("serve.software_lanes", 0),
+        "verified": bool(verify),
+        "mismatches": mismatches if verify else None,
+    }
+    return record
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="seeded mixed-format load generator for repro.serve")
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--baseline", action="store_true",
+                        help="one-transaction-per-word mode (max_batch=1)")
+    parser.add_argument("--max-batch", type=int, default=WORD_PATTERNS)
+    parser.add_argument("--max-wait", type=float, default=0.02,
+                        metavar="SECONDS")
+    parser.add_argument("--max-depth", type=int, default=4096)
+    parser.add_argument("--burst", type=int, default=16, metavar="MEAN",
+                        help="mean geometric burst size (arrivals)")
+    parser.add_argument("--gap-ms", type=float, default=0.0,
+                        help="pause between bursts (0 = saturating load)")
+    parser.add_argument("--specials", type=float, default=0.02,
+                        help="fraction of FP operands drawn from "
+                             "zero/subnormal/inf/NaN")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the per-transaction reference check")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the run record as JSON")
+    parser.add_argument("--json", action="store_true",
+                        help="print the run record as JSON to stdout")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write the repro.obs/1 metrics snapshot")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record Chrome trace-event spans")
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        obs.start_trace()
+    record = run_load(
+        requests=args.requests, seed=args.seed, baseline=args.baseline,
+        max_batch=args.max_batch, max_wait=args.max_wait,
+        max_depth=args.max_depth, burst_mean=args.burst, gap_ms=args.gap_ms,
+        specials=args.specials, verify=not args.no_verify)
+    if args.trace:
+        obs.write_trace(args.trace)
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(obs.registry().snapshot(), fh, indent=2)
+            fh.write("\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        lat = record["latency_ms"]
+        print(f"{record['mode']}: {record['requests']} requests in "
+              f"{record['wall_s']:.3f}s -> "
+              f"{record['requests_per_s']:.0f} req/s")
+        print(f"occupancy {record['mean_occupancy']}/"
+              f"{record['word_capacity']} patterns/word over "
+              f"{record['words_dispatched']} words; flushes "
+              f"{record['flushes']}")
+        for lane, rps in record["per_lane_requests_per_s"].items():
+            print(f"  {lane:<9} {record['per_lane_requests'][lane]:>6} req"
+                  f"   {rps:>10.1f} req/s")
+        print(f"latency ms: p50={lat['p50']:.2f} p90={lat['p90']:.2f} "
+              f"p99={lat['p99']:.2f} max={lat['max']:.2f}")
+        if record["verified"]:
+            print(f"verified bit-identical vs reference: "
+                  f"{record['mismatches']} mismatches")
+    return 0 if (not record["verified"] or record["mismatches"] == 0) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Per-lane batching queues with flush policy and bounded depth.
+
+A :class:`BatchingQueue` holds transactions waiting for a simulation
+word.  It is a pure data structure — the :class:`~repro.serve.server.Server`
+drives it under its own lock — which keeps the flush policy independently
+testable:
+
+* ``max_batch``  — patterns per word (1..64); reaching it makes the
+  queue flush-ready with reason ``"full"``;
+* ``max_wait``   — seconds the *oldest* pending transaction may wait
+  before the queue becomes flush-ready with reason ``"timeout"``;
+* ``max_depth``  — bound on queued transactions; :meth:`push` refuses
+  beyond it and the server turns that refusal into blocking or
+  :class:`~repro.errors.QueueFullError` backpressure.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FormatError
+from repro.serve.transactions import WORD_PATTERNS
+
+#: Flush reasons, in the order the server prefers them.
+FLUSH_FULL = "full"
+FLUSH_TIMEOUT = "timeout"
+FLUSH_DRAIN = "drain"
+
+
+@dataclass
+class PendingTx:
+    """One queued transaction plus its completion handle."""
+
+    tx: object
+    ticket: object
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class BatchingQueue:
+    """FIFO of pending transactions for one lane."""
+
+    lane: str
+    max_batch: int = WORD_PATTERNS
+    max_wait: float = 0.005
+    max_depth: int = 4096
+    _pending: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self):
+        if not 1 <= self.max_batch <= WORD_PATTERNS:
+            raise FormatError(
+                f"max_batch must be in 1..{WORD_PATTERNS}, "
+                f"got {self.max_batch}")
+        if self.max_wait < 0:
+            raise FormatError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.max_depth < self.max_batch:
+            raise FormatError(
+                f"max_depth ({self.max_depth}) must be >= max_batch "
+                f"({self.max_batch})")
+
+    @property
+    def depth(self):
+        return len(self._pending)
+
+    def push(self, pending) -> bool:
+        """Enqueue; False when the depth bound refuses (backpressure)."""
+        if len(self._pending) >= self.max_depth:
+            return False
+        self._pending.append(pending)
+        return True
+
+    def flush_reason(self, now, draining=False) -> Optional[str]:
+        """Why this queue should flush right now, or ``None``."""
+        if not self._pending:
+            return None
+        if len(self._pending) >= self.max_batch:
+            return FLUSH_FULL
+        if now >= self._pending[0].enqueued_at + self.max_wait:
+            return FLUSH_TIMEOUT
+        if draining:
+            return FLUSH_DRAIN
+        return None
+
+    def next_deadline(self) -> Optional[float]:
+        """Monotonic time of the pending timeout flush, if any."""
+        if not self._pending:
+            return None
+        return self._pending[0].enqueued_at + self.max_wait
+
+    def take(self):
+        """Pop up to ``max_batch`` transactions for one simulation word."""
+        n = min(len(self._pending), self.max_batch)
+        return [self._pending.popleft() for _ in range(n)]

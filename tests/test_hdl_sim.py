@@ -218,3 +218,34 @@ class TestCrossSimulatorConsistency:
             esim.apply(net_stim(t))
             for net in range(m.n_nets):
                 assert esim.values[net] == run.net_value(net, t), net
+
+
+def test_bit_transpose_matches_naive_packing():
+    """The block transpose must equal per-bit packing for any shape."""
+    import random
+
+    from repro.hdl.sim.levelized import bit_transpose
+
+    rng = random.Random(20170)
+    for _ in range(60):
+        n_rows = rng.randint(1, 130)
+        width = rng.randint(1, 130)
+        extra = rng.randint(0, 8)      # stray bits beyond width ignored
+        rows = [rng.getrandbits(width + extra) for _ in range(n_rows)]
+        want = [0] * width
+        for r, row in enumerate(rows):
+            for c in range(width):
+                want[c] |= ((row >> c) & 1) << r
+        assert bit_transpose(rows, width) == want, (n_rows, width)
+    assert bit_transpose([], 3) == [0, 0, 0]
+    assert bit_transpose([0b101], 3) == [1, 0, 1]
+
+
+def test_bus_words_matches_bus_word():
+    m = _adder_bit()
+    stim = {"a": [0, 1, 1, 0, 1], "b": [1, 1, 0, 0, 1],
+            "c": [0, 0, 1, 0, 1]}
+    run = LevelizedSimulator(m).run(stim, 5)
+    for name, bus in m.outputs.items():
+        words = run.bus_words(bus)
+        assert words == [run.bus_word(bus, t) for t in range(5)], name

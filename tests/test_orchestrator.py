@@ -182,3 +182,20 @@ def test_report_cli_smoke(tmp_path, capsys):
     text = out.read_text()
     assert "Table IV" in text
     assert "Fig. 2" in text
+
+
+def test_parallel_run_counts_oversubscription(monkeypatch):
+    """Requesting more workers than cores must be visible in metrics."""
+    from repro import obs
+
+    monkeypatch.setattr(orch.os, "cpu_count", lambda: 1)
+    before = obs.registry().snapshot()["counters"].get(
+        "orchestrator.workers.oversubscribed", 0)
+    jobs = [job("leaf", "repro.eval.fault_injection:chunk_plan",
+                n_mutations=4, seed=1, chunks=2)]
+    run_graph(jobs, workers=2, cache=None)
+    snap = obs.registry().snapshot()
+    assert snap["counters"]["orchestrator.workers.oversubscribed"] \
+        == before + 1
+    assert snap["gauges"]["orchestrator.workers.requested"] == 2
+    assert snap["gauges"]["orchestrator.workers.cpu_count"] == 1

@@ -1,0 +1,254 @@
+"""The transaction-batched service: batching must never change bits.
+
+The load-bearing property: for ANY mixed-format transaction stream —
+including NaN/infinity/zero/subnormal operands and both
+reduction-eligible and ineligible binary64 encodings — routing through
+the coalescing :class:`~repro.serve.server.Server` at ANY batch size
+1..64, under full, timeout, manual or drain flushes, yields results
+bit-identical to calling :class:`~repro.core.mfmult.MFMult` / the
+reduction unit one transaction at a time
+(:func:`~repro.serve.transactions.reference_result`).
+
+Alongside the property: backpressure (bounded queues, QueueFullError),
+the asyncio front end, the flush-reason/occupancy observability, and
+the float-level :class:`~repro.serve.server.Client` conveniences.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.bits.ieee754 import BINARY32, BINARY64, encode
+from repro.errors import FormatError, QueueFullError, SimulationError
+from repro.eval.workloads import WorkloadGenerator
+from repro.serve import (
+    AsyncClient,
+    Client,
+    Server,
+    Transaction,
+    TxKind,
+    WORD_PATTERNS,
+    reference_result,
+)
+from repro.serve.loadgen import TrafficGenerator
+from repro.serve.queueing import BatchingQueue
+
+
+def _stream(n, seed, specials=0.15):
+    """Seeded mixed-format stream with IEEE specials sprinkled in."""
+    gen = TrafficGenerator(seed=seed, specials=specials,
+                           reducible_fraction=0.5)
+    return [gen.next_transaction() for _ in range(n)]
+
+
+def _counters():
+    return obs.registry().snapshot()["counters"]
+
+
+# ---------------------------------------------------------------------------
+# The core property: bit-identity at every batch size
+# ---------------------------------------------------------------------------
+
+def test_bit_identical_at_every_batch_size():
+    """All 64 batch sizes, mixed lanes, specials included."""
+    for k in range(1, WORD_PATTERNS + 1):
+        txs = _stream(min(2 * k + 3, 40), seed=1000 + k)
+        server = Server(max_batch=k, max_wait=60.0, autostart=False)
+        tickets = [server.submit(tx) for tx in txs]
+        server.drain()
+        for tx, ticket in zip(txs, tickets):
+            assert ticket.result(timeout=0) == reference_result(tx), \
+                (k, tx)
+
+
+def test_specials_heavy_stream_bit_identical():
+    """A stream that is mostly zero/inf/NaN/subnormal operands."""
+    txs = _stream(80, seed=4242, specials=0.8)
+    server = Server(max_batch=WORD_PATTERNS, max_wait=60.0, autostart=False)
+    tickets = [server.submit(tx) for tx in txs]
+    server.drain()
+    for tx, ticket in zip(txs, tickets):
+        assert ticket.result(timeout=0) == reference_result(tx), tx
+
+
+def test_reduction_lane_eligible_and_ineligible():
+    gen = WorkloadGenerator(11)
+    txs = [Transaction.reduce64(gen.reducible_binary64()) for _ in range(8)]
+    txs += [Transaction.reduce64(encode(1e300, BINARY64)) for _ in range(3)]
+    txs += [Transaction.reduce64(encode(float("nan"), BINARY64)),
+            Transaction.reduce64(encode(float("inf"), BINARY64)),
+            Transaction.reduce64(encode(0.0, BINARY64))]
+    server = Server(max_batch=8, max_wait=60.0, autostart=False)
+    tickets = [server.submit(tx) for tx in txs]
+    server.drain()
+    results = [t.result(timeout=0) for t in tickets]
+    assert any(r.reduced for r in results)
+    assert any(not r.reduced for r in results)
+    for tx, got in zip(txs, results):
+        assert got == reference_result(tx), tx
+
+
+# ---------------------------------------------------------------------------
+# Flush policy: timeouts, manual steps, drain
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("max_batch", [3, 7, WORD_PATTERNS])
+def test_timeout_flush_dispatches_partial_words(max_batch):
+    """Words that never fill must flush on max_wait, bits intact."""
+    before = _counters().get("serve.flushes.timeout", 0)
+    with Server(max_batch=max_batch, max_wait=0.01) as server:
+        txs = _stream(max_batch + 1, seed=77 + max_batch)
+        tickets = [server.submit(tx) for tx in txs]
+        for tx, ticket in zip(txs, tickets):
+            assert ticket.result(timeout=10.0) == reference_result(tx), tx
+    assert _counters().get("serve.flushes.timeout", 0) > before
+
+
+def test_manual_step_flushes_one_word():
+    gen = WorkloadGenerator(5)
+    txs = [Transaction.fp64(gen.normal_binary64(), gen.normal_binary64())
+           for _ in range(10)]
+    server = Server(max_batch=4, max_wait=60.0, autostart=False)
+    tickets = [server.submit(tx) for tx in txs]
+    assert server.queue_depths()["fp64"] == 10
+    assert server.step() == 4          # one full word
+    assert server.queue_depths()["fp64"] == 6
+    assert server.step() == 4
+    assert server.step() == 2          # forced partial word
+    assert server.step() == 0          # nothing left
+    for tx, ticket in zip(txs, tickets):
+        assert ticket.result(timeout=0) == reference_result(tx)
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+def test_queue_full_backpressure_and_recovery():
+    gen = WorkloadGenerator(6)
+    txs = [Transaction.fp64(gen.normal_binary64(), gen.normal_binary64())
+           for _ in range(6)]
+    server = Server(max_batch=4, max_wait=60.0, max_depth=4,
+                    autostart=False)
+    rejected_before = _counters().get("serve.rejected", 0)
+    for tx in txs[:4]:
+        server.submit(tx)
+    with pytest.raises(QueueFullError):
+        server.submit(txs[4], block=False)
+    with pytest.raises(QueueFullError):
+        server.submit(txs[4], block=True, timeout=0.05)
+    assert _counters().get("serve.rejected", 0) == rejected_before + 2
+    assert server.step() == 4          # frees the lane
+    ticket = server.submit(txs[4], block=False)
+    server.drain()
+    assert ticket.result(timeout=0) == reference_result(txs[4])
+
+
+def test_blocking_submit_rides_through_backpressure():
+    """With the dispatcher live, blocking submits wait out full lanes."""
+    gen = WorkloadGenerator(8)
+    txs = [Transaction.fp64(gen.normal_binary64(), gen.normal_binary64())
+           for _ in range(10)]
+    with Server(max_batch=2, max_wait=0.005, max_depth=2) as server:
+        tickets = [server.submit(tx, block=True, timeout=30.0)
+                   for tx in txs]
+        for tx, ticket in zip(txs, tickets):
+            assert ticket.result(timeout=30.0) == reference_result(tx)
+
+
+def test_batching_queue_validates_parameters():
+    with pytest.raises(FormatError):
+        BatchingQueue(lane="fp64", max_batch=0)
+    with pytest.raises(FormatError):
+        BatchingQueue(lane="fp64", max_batch=WORD_PATTERNS + 1)
+    with pytest.raises(FormatError):
+        BatchingQueue(lane="fp64", max_batch=8, max_depth=4)
+    with pytest.raises(FormatError):
+        BatchingQueue(lane="fp64", max_wait=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Asyncio front end
+# ---------------------------------------------------------------------------
+
+def test_async_client_gather_bit_identical():
+    txs = _stream(48, seed=909)
+
+    async def go():
+        server = Server(max_batch=16, max_wait=0.005, max_depth=16)
+        try:
+            return await AsyncClient(server).gather(txs)
+        finally:
+            server.close()
+
+    results = asyncio.run(go())
+    for tx, got in zip(txs, results):
+        assert got == reference_result(tx), tx
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+def test_flush_reasons_and_occupancy_metrics():
+    gen = WorkloadGenerator(3)
+    txs = [Transaction.fp64(gen.normal_binary64(), gen.normal_binary64())
+           for _ in range(20)]
+    reg = obs.registry()
+    snap_before = reg.snapshot()
+    server = Server(max_batch=8, max_wait=60.0, autostart=False)
+    for tx in txs:
+        server.submit(tx)
+    server.drain()
+
+    snap = reg.snapshot()
+    delta = lambda name: (snap["counters"].get(name, 0)
+                          - snap_before["counters"].get(name, 0))
+    assert delta("serve.requests") == 20
+    assert delta("serve.fp64.requests") == 20
+    assert delta("serve.flushes.full") == 2      # 8 + 8
+    assert delta("serve.flushes.manual") == 1    # forced 4-wide tail
+    # Histograms are cumulative in the process-wide registry; compare
+    # against the pre-test snapshot.
+    for name in ("serve.batch.occupancy", "serve.fp64.batch.occupancy"):
+        occ = snap["histograms"][name]
+        occ_before = snap_before["histograms"].get(
+            name, {"count": 0, "total": 0})
+        assert occ["count"] - occ_before["count"] == 3, name
+        assert occ["total"] - occ_before["total"] == 20, name
+        assert occ["max"] >= 8, name
+
+
+def test_errors_propagate_to_every_ticket():
+    server = Server(lanes=[TxKind.FP64], autostart=False)
+    with pytest.raises(FormatError):
+        server.submit(Transaction.int64(1, 2))   # lane not served
+    with pytest.raises(FormatError):
+        server.submit("not a transaction")
+    ticket = server.submit(Transaction.fp64(encode(1.5, BINARY64),
+                                            encode(2.0, BINARY64)))
+    with pytest.raises(SimulationError):
+        ticket.result(timeout=0.01)              # nothing flushed yet
+    server.drain()
+    assert ticket.result(timeout=0).fp64_encoding == encode(3.0, BINARY64)
+
+
+# ---------------------------------------------------------------------------
+# Client conveniences
+# ---------------------------------------------------------------------------
+
+def test_client_float_level_api():
+    with Server(max_batch=4, max_wait=0.002) as server:
+        client = Client(server)
+        assert client.mul_int64(0xDEADBEEF, 0x1234_5678_9ABC_DEF0) \
+            == 0xDEADBEEF * 0x1234_5678_9ABC_DEF0
+        assert client.mul_fp64(1.5, -2.0) == -3.0
+        assert client.mul_fp32_pair((1.5, 0.5), (2.0, 8.0)) == (3.0, 4.0)
+        assert client.mul_fp16_quad([1.5, 2.0, 0.5, -1.0],
+                                    [2.0, 2.0, 2.0, 2.0]) \
+            == (3.0, 4.0, 1.0, -2.0)
+        assert client.reduce64(encode(1.5, BINARY64)) \
+            == (True, encode(1.5, BINARY32))
+        reduced, enc = client.reduce64(encode(1e300, BINARY64))
+        assert not reduced and enc == encode(1e300, BINARY64)
