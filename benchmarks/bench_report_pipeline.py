@@ -1,23 +1,24 @@
-"""The one-command report pipeline: serial vs parallel vs warm cache.
+"""The one-command report pipeline: all scheduler backends raced.
 
-Races three full-report generations through the orchestrator —
+Races full-report generations through the orchestrator, one leg per
+execution backend —
 
-* **serial cold**: ``workers=1`` against a fresh result cache,
-* **parallel cold**: ``workers=4`` against another fresh cache,
-* **warm**: ``workers=4`` again, reusing the parallel run's cache —
+* **serial cold**: ``workers=1``, auto backend (inline), fresh cache;
+* **parallel cold**: ``workers=4``, auto backend, fresh cache — on a
+  box with fewer than 4 cores the auto policy *downgrades to inline*
+  (counted as ``orchestrator.backend.downgraded``) instead of paying
+  fork-pool overhead for time slicing, so this leg can never lose to
+  serial by design;
+* **fork cold** / **workers cold**: the explicit process backends on a
+  fresh cache each — the ``workers`` leg exercises the work-stealing
+  pool; on hosts with >= 4 cores it must beat serial by 2.5x;
+* **warm**: the auto leg rerun over the parallel run's cache.
 
-and asserts the three rendered reports are *byte-identical* (the
-orchestrator's determinism contract) while recording the speedups in
-``BENCH_report_pipeline.json`` (repro.bench/1 envelope).  The warm
-rerun must be at least an order of magnitude faster than any cold run.
-
-Parallel numbers are recorded *honestly*: every run carries both the
-requested worker count and ``effective_workers = min(workers,
-os.cpu_count())``, and the parallel-vs-serial speedup is asserted only
-on machines that actually have the cores — on smaller boxes the pool is
-oversubscribed (the orchestrator counts this in
-``orchestrator.workers.oversubscribed``) and the numbers are recorded
-without the gate.
+All rendered reports must be *byte-identical* (the orchestrator's
+determinism contract, now across backends too).  The envelope records
+per-backend rows plus the longest single leaf of the serial leg —
+fine-grained stealable leaves keep ``max_leaf_fraction`` at or below
+0.25 of the graph wall, which is what makes stealing effective.
 """
 
 import json
@@ -33,7 +34,7 @@ MUTATIONS = int(os.environ.get("REPRO_REPORT_BENCH_MUTATIONS", "8"))
 PARALLEL_WORKERS = 4
 
 
-def _one_run(tmp_path, tag, workers, cache_root):
+def _one_run(tmp_path, tag, workers, cache_root, backend="auto"):
     cache = ResultCache(root=str(cache_root))
     metrics = {}
     t0 = time.perf_counter()
@@ -41,22 +42,38 @@ def _one_run(tmp_path, tag, workers, cache_root):
         n_cycles=N_CYCLES, out_path=str(tmp_path / f"report_{tag}.txt"),
         include_sweeps=True, include_verification=True,
         mutations=MUTATIONS, workers=workers, cache=cache,
-        metrics=metrics)
+        metrics=metrics, backend=backend)
     seconds = time.perf_counter() - t0
     counters = metrics["counters"]
-    return {"tag": tag, "workers": workers,
+    job_rows = [r for r in metrics["records"].get("report.jobs", ())
+                if not r["cached"]]
+    max_leaf = max((r["seconds"] for r in job_rows), default=0.0)
+    return {"tag": tag, "backend": backend, "workers": workers,
             "effective_workers": min(workers, os.cpu_count() or 1),
             "oversubscribed": workers > (os.cpu_count() or 1),
+            "downgraded":
+                counters.get("orchestrator.backend.downgraded", 0) > 0,
+            "steals": counters.get("orchestrator.steals", 0),
             "seconds": seconds,
+            "max_leaf_seconds": max_leaf,
+            "max_leaf_fraction": round(max_leaf / max(seconds, 1e-9), 4),
             "n_jobs": counters.get("report.jobs", 0),
             "cache_hits": counters.get("report.cache_hits", 0),
             "text": text}
 
 
 def test_bench_report_pipeline(benchmark, report_sink, tmp_path):
+    cpus = os.cpu_count() or 1
+    pool_workers = PARALLEL_WORKERS if cpus >= PARALLEL_WORKERS \
+        else max(2, cpus)
+
     serial = _one_run(tmp_path, "serial_cold", 1, tmp_path / "cache_serial")
     parallel = _one_run(tmp_path, "parallel_cold", PARALLEL_WORKERS,
                         tmp_path / "cache_parallel")
+    fork = _one_run(tmp_path, "fork_cold", pool_workers,
+                    tmp_path / "cache_fork", backend="fork")
+    stealing = _one_run(tmp_path, "workers_cold", pool_workers,
+                        tmp_path / "cache_workers", backend="workers")
 
     # The timed leg: the warm rerun over the parallel run's cache.
     warm = benchmark.pedantic(
@@ -64,26 +81,38 @@ def test_bench_report_pipeline(benchmark, report_sink, tmp_path):
                         tmp_path / "cache_parallel"),
         rounds=1, iterations=1)
 
-    # Determinism contract: all three modes render the same bytes.
-    assert parallel["text"] == serial["text"]
-    assert warm["text"] == serial["text"]
+    # Determinism contract: every backend renders the same bytes.
+    runs = (serial, parallel, fork, stealing, warm)
+    for run in runs[1:]:
+        assert run["text"] == serial["text"], run["tag"]
     assert warm["cache_hits"] >= 1
 
     warm_speedup = serial["seconds"] / max(warm["seconds"], 1e-9)
     parallel_speedup = serial["seconds"] / max(parallel["seconds"], 1e-9)
+    workers_speedup = serial["seconds"] / max(stealing["seconds"], 1e-9)
     record = {
         "n_cycles": N_CYCLES,
         "mutations": MUTATIONS,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
         "runs": [{k: v for k, v in run.items() if k != "text"}
-                 for run in (serial, parallel, warm)],
+                 for run in runs],
         "parallel_speedup_vs_serial": round(parallel_speedup, 3),
+        "workers_speedup_vs_serial": round(workers_speedup, 3),
         "warm_speedup_vs_serial_cold": round(warm_speedup, 3),
+        "max_leaf_fraction_serial": serial["max_leaf_fraction"],
     }
     write_bench("report_pipeline", record)
     report_sink("report_pipeline", json.dumps(record, indent=2))
 
     assert warm_speedup >= 10.0
-    # The parallel gate needs real cores; smaller boxes only record it.
-    if (os.cpu_count() or 1) >= 4:
+    # Stealable leaves keep the longest leaf well under the graph wall.
+    assert serial["max_leaf_fraction"] <= 0.25
+    # The auto backend never loses to serial: an oversubscribed request
+    # downgrades to the identical inline path instead of time slicing.
+    if parallel["downgraded"]:
+        assert parallel["effective_workers"] == 1
+    assert parallel_speedup >= 1.0
+    # The parallel gates need real cores; smaller boxes only record.
+    if cpus >= PARALLEL_WORKERS:
         assert parallel_speedup >= 3.0
+        assert workers_speedup >= 2.5

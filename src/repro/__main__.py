@@ -6,6 +6,7 @@ Usage::
     python -m repro table3 table5        # selected experiments
     python -m repro --cycles 32 table3   # deeper Monte Carlo
     python -m repro export-verilog mfmult out.v
+    python -m repro cache stats          # result-cache maintenance
 """
 
 import argparse
@@ -47,9 +48,19 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=0,
                         help="for 'report': worker processes for the "
                              "experiment job graph (default serial)")
+    parser.add_argument("--backend", default="auto",
+                        help="for 'report': execution backend "
+                             "(auto/inline/fork/workers)")
     parser.add_argument("--output", default=None,
                         help="for 'report': write the markdown report "
                              "to this path")
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        # Result-cache maintenance: delegate to the cache CLI.
+        from repro.eval.cache import main as cache_main
+
+        return cache_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.targets and args.targets[0] == "export-verilog":
@@ -61,7 +72,8 @@ def main(argv=None):
 
         text = generate_report(n_cycles=args.cycles,
                                out_path=args.output,
-                               workers=args.workers)
+                               workers=args.workers,
+                               backend=args.backend)
         if args.output:
             print(f"wrote report to {args.output}")
         else:

@@ -1,0 +1,434 @@
+"""Content-addressed persistent result cache (+ its CLI).
+
+Every finished leaf job of the experiment scheduler lands here as one
+object file named by the **sha256 of its full cache key** — source
+fingerprint, job name, function spec, params, seed, Monte Carlo depth —
+so the store is content-addressed: equal work maps to equal names on
+any machine, which is what makes warm caches *portable*.  Layout::
+
+    <root>/
+      index.json                 # repro.cache/1: per-entry name/size/atime
+      objects/<sha256-hex>.pkl   # {"schema", "key", "value"} pickle
+
+Properties:
+
+* **atomic writes** — objects and the index are written to a temp file
+  and ``os.replace``d; readers never observe a torn entry;
+* **self-verifying** — an object must contain the exact key whose
+  digest names it; a mismatch, torn pickle or unreadable file degrades
+  to a miss and ticks ``orchestrator.cache.corrupt`` (never silent, the
+  caller recomputes and overwrites);
+* **size-capped** — ``max_mb`` (or ``REPRO_RESULT_CACHE_MB``) enforces
+  an LRU budget at store time; :meth:`ResultCache.gc` does the same on
+  demand, evicting least-recently-*used* entries (hits refresh atime);
+* **portable** — :meth:`ResultCache.export` packs the store into one
+  ``tar.gz`` artifact and :meth:`ResultCache.import_archive` unpacks it
+  into another root, re-verifying every digest on the way in.  A CI
+  runner that imports a warm artifact replays the whole report with
+  zero leaf executions.
+
+CLI (also reachable as ``python -m repro cache ...``)::
+
+    python -m repro.eval.cache stats  [--root PATH] [--json]
+    python -m repro.eval.cache gc     --max-mb N [--root PATH]
+    python -m repro.eval.cache export ARCHIVE [--root PATH]
+    python -m repro.eval.cache import ARCHIVE [--root PATH]
+
+``REPRO_RESULT_CACHE`` still overrides the root (``0`` disables
+caching entirely), exactly as before the store became content-
+addressed.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import pickle
+import sys
+import tarfile
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+
+#: Store schema; bump on incompatible layout changes.
+SCHEMA = "repro.cache/1"
+
+_OBJECTS = "objects"
+_INDEX = "index.json"
+
+
+def _default_cache_root():
+    env = os.environ.get("REPRO_RESULT_CACHE")
+    if env == "0":
+        return None
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "results"
+
+
+def _default_max_bytes():
+    env = os.environ.get("REPRO_RESULT_CACHE_MB", "").strip()
+    if not env:
+        return None
+    try:
+        return int(float(env) * 1024 * 1024)
+    except ValueError:
+        return None
+
+
+def job_key(fingerprint, jb):
+    """The full, collision-safe cache key string of one job."""
+    params = dict(jb.params)
+    return repr((fingerprint, jb.name, str(jb.fn), jb.params,
+                 params.get("seed"), params.get("n_cycles")))
+
+
+def key_digest(key):
+    """The content address of a key: its full sha256 hex digest."""
+    return hashlib.sha256(key.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk content-addressed cache of finished experiment results."""
+
+    def __init__(self, root=None, fingerprint=None, max_mb=None):
+        if root is None:
+            root = _default_cache_root()
+        self.root = Path(root) if root is not None else None
+        if fingerprint is None:
+            from repro.eval.experiments import source_fingerprint
+
+            fingerprint = source_fingerprint()
+        self.fingerprint = fingerprint
+        self.max_bytes = (int(max_mb * 1024 * 1024)
+                          if max_mb is not None else _default_max_bytes())
+        self.hits = 0
+        self.misses = 0
+        self._index = None        # lazy {digest: {...}}
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+
+    def _object_path(self, digest):
+        return self.root / _OBJECTS / f"{digest}.pkl"
+
+    def _entry(self, jb):
+        key = job_key(self.fingerprint, jb)
+        digest = key_digest(key)
+        return self._object_path(digest), key, digest
+
+    # ------------------------------------------------------------------
+    # the index (names, sizes, access order)
+    # ------------------------------------------------------------------
+
+    def _load_index(self):
+        if self._index is not None:
+            return self._index
+        entries = {}
+        try:
+            with open(self.root / _INDEX) as fh:
+                doc = json.load(fh)
+            if doc.get("schema") == SCHEMA:
+                entries = doc.get("entries", {})
+        except Exception:
+            pass
+        # Recover entries the index lost (torn write, manual copy): the
+        # objects directory is the ground truth, the index is derived.
+        obj_dir = self.root / _OBJECTS
+        if obj_dir.is_dir():
+            for path in obj_dir.iterdir():
+                digest = path.name[:-4]
+                if not path.name.endswith(".pkl") or digest in entries:
+                    continue
+                try:
+                    stat = path.stat()
+                    entries[digest] = {"name": "?", "bytes": stat.st_size,
+                                       "atime": stat.st_mtime}
+                except OSError:
+                    continue
+        self._index = entries
+        return entries
+
+    def _flush_index(self):
+        if self._index is None:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"schema": SCHEMA, "entries": self._index},
+                          fh, sort_keys=True)
+            os.replace(tmp, self.root / _INDEX)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
+
+    def load(self, jb):
+        """Return ``(hit, value)``; any failure is a miss, never an error."""
+        if self.root is None:
+            return False, None
+        path, key, digest = self._entry(jb)
+        with obs.span(f"cache:probe:{jb.name}", cat="cache") as note:
+            try:
+                with open(path, "rb") as fh:
+                    entry = pickle.load(fh)
+            except FileNotFoundError:
+                entry = None
+            except Exception:
+                entry = False                # present but unreadable
+            if entry is not None and not isinstance(entry, dict):
+                entry = False
+            if entry in (None, False) or entry.get("key") != key:
+                if entry is not None:
+                    # Torn pickle or digest/key mismatch: corrupt, not
+                    # merely cold.  Count it and clear the way for the
+                    # recompute's overwrite.
+                    obs.registry().inc("orchestrator.cache.corrupt")
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                self.misses += 1
+                note["hit"] = False
+                obs.registry().inc("orchestrator.cache.misses")
+                return False, None
+            self.hits += 1
+            note["hit"] = True
+            obs.registry().inc("orchestrator.cache.hits")
+        entries = self._load_index()
+        if digest in entries:
+            entries[digest]["atime"] = time.time()
+            self._flush_index()
+        return True, entry["value"]
+
+    def store(self, jb, value):
+        """Best-effort atomic write; enforces the LRU size budget."""
+        if self.root is None:
+            return
+        path, key, digest = self._entry(jb)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"schema": SCHEMA, "key": key, "value": value},
+                            fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            return
+        entries = self._load_index()
+        entries[digest] = {"name": jb.name,
+                           "bytes": path.stat().st_size,
+                           "atime": time.time()}
+        if self.max_bytes is not None:
+            self._evict_locked(self.max_bytes, keep=digest)
+        self._flush_index()
+
+    # ------------------------------------------------------------------
+    # maintenance: stats / gc
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """Entry count, total bytes and the store location."""
+        if self.root is None:
+            return {"root": None, "entries": 0, "bytes": 0}
+        entries = self._load_index()
+        return {"root": str(self.root), "entries": len(entries),
+                "bytes": sum(e["bytes"] for e in entries.values()),
+                "max_bytes": self.max_bytes}
+
+    def _evict_locked(self, max_bytes, keep=None):
+        entries = self._load_index()
+        total = sum(e["bytes"] for e in entries.values())
+        evicted = []
+        for digest in sorted(entries, key=lambda d: entries[d]["atime"]):
+            if total <= max_bytes:
+                break
+            if digest == keep:
+                continue
+            info = entries.pop(digest)
+            total -= info["bytes"]
+            evicted.append(info)
+            try:
+                os.unlink(self._object_path(digest))
+            except OSError:
+                pass
+            obs.registry().inc("orchestrator.cache.evicted")
+        return evicted
+
+    def gc(self, max_mb):
+        """Evict least-recently-used entries down to ``max_mb``."""
+        if self.root is None:
+            return []
+        evicted = self._evict_locked(int(max_mb * 1024 * 1024))
+        self._flush_index()
+        return evicted
+
+    # ------------------------------------------------------------------
+    # portability: export / import
+    # ------------------------------------------------------------------
+
+    def export(self, archive_path):
+        """Pack the whole store into one ``tar.gz`` artifact."""
+        if self.root is None:
+            raise ValueError("result cache is disabled; nothing to export")
+        entries = self._load_index()
+        self._flush_index()
+        archive_path = Path(archive_path)
+        archive_path.parent.mkdir(parents=True, exist_ok=True)
+        with tarfile.open(archive_path, "w:gz") as tar:
+            tar.add(self.root / _INDEX, arcname=_INDEX)
+            for digest in sorted(entries):
+                path = self._object_path(digest)
+                if path.is_file():
+                    tar.add(path, arcname=f"{_OBJECTS}/{digest}.pkl")
+        return {"archive": str(archive_path), "entries": len(entries)}
+
+    def import_archive(self, archive_path):
+        """Unpack an exported store, re-verifying every content address.
+
+        Objects whose stored key does not hash to their file name are
+        rejected (and counted under ``orchestrator.cache.corrupt``);
+        already-present digests are skipped.
+        """
+        if self.root is None:
+            raise ValueError("result cache is disabled; nowhere to import")
+        entries = self._load_index()
+        imported = skipped = corrupt = 0
+        with tarfile.open(archive_path, "r:gz") as tar:
+            for member in tar.getmembers():
+                if not member.isfile() \
+                        or not member.name.startswith(f"{_OBJECTS}/") \
+                        or not member.name.endswith(".pkl"):
+                    continue
+                digest = member.name[len(_OBJECTS) + 1:-4]
+                if len(digest) != 64 or not all(
+                        c in "0123456789abcdef" for c in digest):
+                    corrupt += 1
+                    continue
+                if digest in entries \
+                        and self._object_path(digest).is_file():
+                    skipped += 1
+                    continue
+                blob = tar.extractfile(member).read()
+                try:
+                    entry = pickle.loads(blob)
+                    key = entry["key"]
+                    assert key_digest(key) == digest
+                    assert entry.get("schema") == SCHEMA
+                except Exception:
+                    corrupt += 1
+                    obs.registry().inc("orchestrator.cache.corrupt")
+                    continue
+                path = self._object_path(digest)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                           suffix=".tmp")
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+                entries[digest] = {"name": "?", "bytes": len(blob),
+                                   "atime": time.time()}
+                imported += 1
+        # Adopt names from the archive's index where ours says "?".
+        try:
+            with tarfile.open(archive_path, "r:gz") as tar:
+                doc = json.load(tar.extractfile(_INDEX))
+            if doc.get("schema") == SCHEMA:
+                for digest, info in doc.get("entries", {}).items():
+                    if digest in entries \
+                            and entries[digest].get("name") == "?":
+                        entries[digest]["name"] = info.get("name", "?")
+        except Exception:
+            pass
+        self._flush_index()
+        return {"imported": imported, "skipped": skipped,
+                "corrupt": corrupt}
+
+
+def resolve_cache(cache):
+    """Normalize the ``cache`` argument of the scheduler entry points.
+
+    ``True`` -> the default on-disk cache (or ``None`` when disabled by
+    ``REPRO_RESULT_CACHE=0``), ``False``/``None`` -> no caching, a
+    :class:`ResultCache` instance -> itself.
+    """
+    if cache is True:
+        return ResultCache() if _default_cache_root() is not None else None
+    if cache in (False, None):
+        return None
+    return cache
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.cache",
+        description="Inspect, bound and ship the content-addressed "
+                    "experiment result cache.")
+    parser.add_argument("--root", default=None,
+                        help="cache directory (default: the scheduler's "
+                             "store, honouring REPRO_RESULT_CACHE)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("stats", help="entry count and size") \
+        .add_argument("--json", action="store_true")
+    gc_p = sub.add_parser("gc", help="evict LRU entries over a budget")
+    gc_p.add_argument("--max-mb", type=float, required=True,
+                      help="size budget to shrink the store to")
+    exp_p = sub.add_parser("export",
+                           help="pack the store into a tar.gz artifact")
+    exp_p.add_argument("archive", help="output archive path")
+    imp_p = sub.add_parser("import",
+                           help="unpack an exported store (digest-"
+                                "verified; existing entries skipped)")
+    imp_p.add_argument("archive", help="input archive path")
+    args = parser.parse_args(argv)
+
+    root = args.root or _default_cache_root()
+    if root is None:
+        print("result cache is disabled (REPRO_RESULT_CACHE=0)",
+              file=sys.stderr)
+        return 2
+    # Maintenance commands never need the source fingerprint (which
+    # would import the whole experiment stack): pass a placeholder.
+    cache = ResultCache(root=root, fingerprint="(cli)")
+
+    if args.command == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"{stats['root']}: {stats['entries']} entries, "
+                  f"{stats['bytes'] / 1e6:.2f} MB"
+                  + (f" (budget {stats['max_bytes'] / 1e6:.0f} MB)"
+                     if stats.get("max_bytes") else ""))
+        return 0
+    if args.command == "gc":
+        evicted = cache.gc(args.max_mb)
+        freed = sum(e["bytes"] for e in evicted)
+        print(f"evicted {len(evicted)} entries, freed "
+              f"{freed / 1e6:.2f} MB")
+        return 0
+    if args.command == "export":
+        info = cache.export(args.archive)
+        print(f"exported {info['entries']} entries to {info['archive']}")
+        return 0
+    if args.command == "import":
+        info = cache.import_archive(args.archive)
+        print(f"imported {info['imported']} entries "
+              f"({info['skipped']} already present, "
+              f"{info['corrupt']} rejected)")
+        return 0
+    return 2                                 # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -413,12 +413,23 @@ def coverage_chunk(which="r16", n_mutations=10, seed=7,
                              mode=mode, battery=battery)
 
 
-def chunk_plan(n_mutations, seed, chunks):
+#: Auto-chunking aims at this many mutations per stealable leaf.
+CHUNK_TARGET_MUTATIONS = 10
+
+
+def chunk_plan(n_mutations, seed, chunks=None):
     """Deterministic ``(chunk_seed, chunk_size)`` split of a campaign.
 
     Both the serial entry point and the orchestrator's sharded graph
     use this plan, so their merged results are identical.
+    ``chunks=None`` auto-sizes toward :data:`CHUNK_TARGET_MUTATIONS`
+    mutations per chunk, floored at the historic 4 chunks — campaigns
+    of up to 40 mutations keep their exact historic shard seeds, while
+    larger ones refine into more stealable leaves.
     """
+    if chunks is None:
+        target = -(-n_mutations // CHUNK_TARGET_MUTATIONS)
+        chunks = max(min(4, n_mutations), target)
     chunks = max(1, min(chunks, n_mutations))
     base, extra = divmod(n_mutations, chunks)
     return [(seed * 1000003 + i, base + (1 if i < extra else 0))
@@ -436,13 +447,13 @@ def merge_coverage(results):
 
 
 def experiment_fault_coverage(which="r16", n_mutations=40, seed=7,
-                              chunks=4, mode="differential"):
+                              chunks=None, mode="differential"):
     """Mutation coverage of the co-simulation battery for ``which``.
 
-    The campaign is split into ``chunks`` independently seeded shards
-    (see :func:`chunk_plan`); running them serially here or in parallel
-    through the orchestrator yields the same merged result, as does
-    either campaign ``mode``.
+    The campaign is split into independently seeded shards (see
+    :func:`chunk_plan`; ``chunks=None`` auto-sizes them); running them
+    serially here or in parallel through the orchestrator yields the
+    same merged result, as does either campaign ``mode``.
     """
     return merge_coverage(
         [coverage_chunk(which=which, n_mutations=size, seed=chunk_seed,

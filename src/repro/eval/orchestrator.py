@@ -15,36 +15,65 @@ Monte Carlo from scratch.  This module turns that walk into a
   complete and assemble leaf values into the exact result objects the
   serial entry points return — same seeds, bit-identical tables.
 
-Results persist in an on-disk pickle cache keyed by ``(source
-fingerprint, job name, params, seed, cycles)`` — the same fingerprint
-that keys the module pickle cache of :mod:`repro.eval.experiments`, so
-one source edit invalidates both coherently.  A corrupt or stale entry
-silently falls back to recomputation (``REPRO_RESULT_CACHE`` overrides
-the directory; ``0`` disables).
+This module is the **scheduler core**: graph checking, cache probes,
+deterministic merges, and the pump loop that feeds cache-missing leaves
+to a pluggable **execution backend** (:mod:`repro.eval.sched`):
+
+* ``inline`` — zero-overhead serial execution, auto-selected whenever
+  the request cannot actually run in parallel (``workers <= 1``, or an
+  oversubscribed request — more workers than cores — which is counted
+  as ``orchestrator.backend.downgraded`` instead of paying fork-pool
+  overhead for time slicing);
+* ``fork`` — the classic fork-context ``ProcessPoolExecutor``;
+* ``workers`` — long-lived worker processes under deque-based work
+  stealing, speaking the ``repro.sched/1`` wire protocol with live
+  result streaming and crash recovery.
+
+Results stay byte-identical to a serial run on every backend at any
+worker count and steal schedule, because merges are keyed by job name
+and run in the parent.
+
+Finished leaves persist in the **content-addressed result store** of
+:mod:`repro.eval.cache` — ``sha256(key)``-named entries keyed by
+``(source fingerprint, job name, params, seed, cycles)``, the same
+fingerprint that keys the module pickle cache of
+:mod:`repro.eval.experiments`, so one source edit invalidates both
+coherently.  Corrupt entries tick ``orchestrator.cache.corrupt`` and
+recompute; ``repro cache export``/``import`` moves warm stores between
+machines (``REPRO_RESULT_CACHE`` overrides the directory; ``0``
+disables).
 
 Entry points:
 
 * :func:`run_experiment` — one experiment through the graph (what the
   benchmark drivers call, so repeated benchmark processes share warm
   caches instead of private ones);
-* :func:`run_experiments` — a batch with a shared pool and cache (what
-  the full-report CLI of :mod:`repro.eval.report` drives);
+* :func:`run_experiments` — a batch with a shared backend and cache
+  (what the full-report CLI of :mod:`repro.eval.report` drives);
 * :func:`run_graph` — the raw scheduler, for custom graphs.
 """
 
-import concurrent.futures
-import hashlib
-import importlib
 import os
-import pickle
-import tempfile
 import time
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Union
 
 from repro import obs
 from repro.errors import SimulationError
+from repro.eval.cache import ResultCache, job_key, key_digest, resolve_cache
+from repro.eval.sched import (
+    LeafTask,
+    call_leaf,
+    make_backend,
+    raise_leaf_failure,
+    resolve_fn,
+)
+
+__all__ = [
+    "Job", "JobOutcome", "ResultCache", "build_jobs",
+    "experiment_names", "job", "resolve_cache", "run_experiment",
+    "run_experiments", "run_graph",
+]
 
 # ----------------------------------------------------------------------
 # job model
@@ -89,129 +118,13 @@ class JobOutcome:
 
 
 # ----------------------------------------------------------------------
-# persistent result cache
+# the scheduler core
 # ----------------------------------------------------------------------
 
-def _default_cache_root():
-    env = os.environ.get("REPRO_RESULT_CACHE")
-    if env == "0":
-        return None
-    if env:
-        return Path(env)
-    return Path(__file__).resolve().parents[3] / ".cache" / "results"
-
-
-class ResultCache:
-    """On-disk pickle cache of finished experiment results.
-
-    Keys are ``(source fingerprint, job name, fn, params, seed,
-    cycles)`` — seed and Monte Carlo depth are part of every job's
-    params and are surfaced explicitly in the key so two runs differing
-    only there never collide.  Entries store the full key alongside the
-    value; a digest collision, a corrupt pickle or an unreadable file
-    all degrade to a miss (the caller recomputes and overwrites).
-    """
-
-    def __init__(self, root=None, fingerprint=None):
-        if root is None:
-            root = _default_cache_root()
-        self.root = Path(root) if root is not None else None
-        if fingerprint is None:
-            from repro.eval.experiments import source_fingerprint
-
-            fingerprint = source_fingerprint()
-        self.fingerprint = fingerprint
-        self.hits = 0
-        self.misses = 0
-
-    def _entry(self, jb):
-        params = dict(jb.params)
-        key = repr((self.fingerprint, jb.name, str(jb.fn), jb.params,
-                    params.get("seed"), params.get("n_cycles")))
-        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
-        slug = jb.name.replace("/", "_").replace(" ", "_")
-        return self.root / f"{slug}-{digest}.pkl", key
-
-    def load(self, jb):
-        """Return ``(hit, value)``; any failure is a miss, never an error."""
-        if self.root is None:
-            return False, None
-        path, key = self._entry(jb)
-        with obs.span(f"cache:probe:{jb.name}", cat="cache") as note:
-            try:
-                with open(path, "rb") as fh:
-                    entry = pickle.load(fh)
-                if entry.get("key") != key:
-                    raise KeyError("stale entry")
-                value = entry["value"]
-            except Exception:
-                self.misses += 1
-                note["hit"] = False
-                obs.registry().inc("orchestrator.cache.misses")
-                return False, None
-            self.hits += 1
-            note["hit"] = True
-            obs.registry().inc("orchestrator.cache.hits")
-            return True, value
-
-    def store(self, jb, value):
-        """Best-effort atomic write (mirrors the module pickle cache)."""
-        if self.root is None:
-            return
-        path, key = self._entry(jb)
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump({"key": key, "value": value}, fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except Exception:
-            pass
-
-
-def resolve_cache(cache):
-    """Normalize the ``cache`` argument of the entry points.
-
-    ``True`` -> the default on-disk cache (or ``None`` when disabled by
-    ``REPRO_RESULT_CACHE=0``), ``False``/``None`` -> no caching, a
-    :class:`ResultCache` instance -> itself.
-    """
-    if cache is True:
-        return ResultCache() if _default_cache_root() is not None else None
-    if cache in (False, None):
-        return None
-    return cache
-
-
-# ----------------------------------------------------------------------
-# the scheduler
-# ----------------------------------------------------------------------
-
-def _resolve_fn(fn):
-    if callable(fn):
-        return fn
-    module_name, __, func_name = fn.partition(":")
-    return getattr(importlib.import_module(module_name), func_name)
-
-
-def _execute_leaf(fn, params):
-    """Worker-side entry: resolve and call a leaf job."""
-    return _resolve_fn(fn)(**dict(params))
-
-
-def _execute_leaf_obs(name, fn, params):
-    """Worker-side entry shipping the task's observability payload.
-
-    The job's own metrics/spans (module builds, compiles, replays) land
-    in the worker's registry and trace buffer; :func:`repro.obs.task_begin`
-    scopes them to exactly this job so the parent's
-    :func:`repro.obs.task_merge` counts them once.
-    """
-    obs.task_begin()
-    with obs.span(f"leaf:{name}", cat="orchestrator"):
-        value = _execute_leaf(fn, params)
-    return value, obs.task_collect()
+# Back-compat aliases: graph builders and external callers used these
+# names when execution lived in this module.
+_resolve_fn = resolve_fn
+_execute_leaf = call_leaf
 
 
 def _note_outcome(outcome):
@@ -289,22 +202,66 @@ def _finish_inner(jb, results, cache, t0):
                       cached=False, mode="inline")
 
 
-def run_graph(jobs, workers=0, cache=None):
+def _resolve_backend_choice(backend, workers):
+    """Map a ``(backend, workers)`` request to what actually runs.
+
+    ``auto`` policy: serial requests (``workers <= 1``) run inline;
+    parallel requests run on ``fork`` — unless they are oversubscribed
+    (``workers > os.cpu_count()``), in which case any "parallelism"
+    would be GIL-free time slicing plus fork overhead, so the request
+    **downgrades to inline** and ``orchestrator.backend.downgraded``
+    ticks (the 0.858×-of-serial regression class, made structurally
+    impossible).  An explicitly named backend is always honoured —
+    that is what lets parity tests race real worker processes on a
+    one-core box — with oversubscription still counted honestly.
+    """
+    from repro.eval.sched import BACKEND_CHOICES
+
+    if backend not in BACKEND_CHOICES:
+        raise SimulationError(
+            f"unknown scheduler backend {backend!r}; choose from "
+            f"{', '.join(BACKEND_CHOICES)}")
+    workers = 0 if workers is None else int(workers)
+    if backend == "inline" or (backend == "auto" and workers <= 1):
+        return "inline", 1
+
+    cpus = os.cpu_count() or 1
+    reg = obs.registry()
+    reg.gauge("orchestrator.workers.requested", workers)
+    reg.gauge("orchestrator.workers.cpu_count", cpus)
+    if workers > cpus:
+        reg.inc("orchestrator.workers.oversubscribed")
+        if backend == "auto":
+            reg.inc("orchestrator.backend.downgraded")
+            reg.record("orchestrator.backend.downgraded",
+                       {"requested": workers, "cpu_count": cpus,
+                        "to": "inline", "reason": "oversubscribed"})
+            return "inline", 1
+    if backend == "auto":
+        return "fork", workers
+    return backend, max(1, workers)
+
+
+def run_graph(jobs, workers=0, cache=None, backend="auto"):
     """Execute a job graph; returns ``{name: JobOutcome}``.
 
-    ``workers <= 1`` runs everything inline in deterministic topological
-    order.  ``workers > 1`` fans cache-missing leaf jobs out over a
-    ``ProcessPoolExecutor`` (heaviest first); merge jobs always run in
-    the parent, as soon as their dependencies complete, so the merged
-    tables are identical to a serial run regardless of completion
-    order.  Cache lookups and stores happen only in the parent — worker
-    processes never touch the cache directory.
+    ``backend`` picks the execution backend (``auto``/``inline``/
+    ``fork``/``workers``; see :func:`_resolve_backend_choice` for the
+    ``auto`` policy).  The inline path runs everything in deterministic
+    topological order with zero scheduling overhead; parallel backends
+    fan cache-missing leaf jobs out heaviest-first and stream results
+    back as each leaf finishes.  Merge jobs always run in the parent,
+    as soon as their dependencies complete, so the merged tables are
+    identical to a serial run regardless of backend, worker count or
+    steal schedule.  Cache lookups and stores happen only in the
+    parent — worker processes never touch the cache directory.
     """
     by_name, order, dependents = _check_graph(jobs)
+    chosen, eff_workers = _resolve_backend_choice(backend, workers)
     results: Dict[str, object] = {}
     outcomes: Dict[str, JobOutcome] = {}
 
-    if workers is None or workers <= 1:
+    if chosen == "inline":
         for name in order:
             outcome = _finish(by_name[name], results, cache)
             outcomes[name] = outcome
@@ -314,24 +271,6 @@ def run_graph(jobs, workers=0, cache=None):
     waiting = {name: len(by_name[name].deps) for name in by_name}
     ready = [name for name in order if waiting[name] == 0]
     ready.sort(key=lambda n: -by_name[n].weight)
-
-    cpus = os.cpu_count() or 1
-    reg = obs.registry()
-    reg.gauge("orchestrator.workers.requested", workers)
-    reg.gauge("orchestrator.workers.cpu_count", cpus)
-    if workers > cpus:
-        # More worker processes than cores is oversubscription, not
-        # speedup — the pool still runs, but any "parallel speedup"
-        # measured this way is GIL-free time slicing.  Count it so
-        # benchmarks can report the honest effective parallelism.
-        reg.inc("orchestrator.workers.oversubscribed")
-
-    import multiprocessing
-
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:                        # pragma: no cover - non-POSIX
-        ctx = multiprocessing.get_context()
 
     def settle(name, outcome):
         outcomes[name] = outcome
@@ -343,9 +282,7 @@ def run_graph(jobs, workers=0, cache=None):
                 unblocked.append(dependent)
         return unblocked
 
-    with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=ctx) as pool:
-        futures = {}
+    with make_backend(chosen, eff_workers) as pool:
 
         def launch(name):
             jb = by_name[name]
@@ -368,31 +305,35 @@ def run_graph(jobs, workers=0, cache=None):
                     for nxt in settle(name, outcome):
                         launch(nxt)
                     return
-            submitted = time.perf_counter()
-            futures[pool.submit(_execute_leaf_obs, name, jb.fn,
-                                jb.params)] = (name, submitted)
+            fingerprint = key_digest(job_key(
+                cache.fingerprint if cache is not None else "", jb))
+            pool.submit(LeafTask(name=name, fn=jb.fn, params=jb.params,
+                                 weight=jb.weight,
+                                 fingerprint=fingerprint))
 
         for name in ready:
             launch(name)
-        while futures:
-            done, __ = concurrent.futures.wait(
-                futures, return_when=concurrent.futures.FIRST_COMPLETED)
-            for future in done:
-                name, submitted = futures.pop(future)
-                jb = by_name[name]
-                value, obs_payload = future.result()
-                obs.task_merge(obs_payload)
-                if jb.cacheable and cache is not None:
-                    cache.store(jb, value)
-                outcome = JobOutcome(name, value,
-                                     time.perf_counter() - submitted,
-                                     cached=False, mode="worker")
-                obs.complete_event(f"job:{name}", submitted,
-                                   outcome.seconds, cat="orchestrator",
-                                   mode="worker", cached=False)
-                _note_outcome(outcome)
-                for nxt in settle(name, outcome):
-                    launch(nxt)
+        while pool.outstanding:
+            res = pool.next_result()
+            if not res.ok:
+                raise_leaf_failure(res)
+            # Stream the worker's spans/metrics in the moment the leaf
+            # lands, not at pool join.
+            if res.obs_payload:
+                obs.task_merge(res.obs_payload)
+            jb = by_name[res.name]
+            if jb.cacheable and cache is not None:
+                cache.store(jb, res.value)
+            outcome = JobOutcome(res.name, res.value, res.seconds,
+                                 cached=False, mode=pool.mode)
+            obs.complete_event(f"job:{res.name}",
+                               time.perf_counter() - res.seconds,
+                               outcome.seconds, cat="orchestrator",
+                               mode=pool.mode, cached=False,
+                               worker=res.worker)
+            _note_outcome(outcome)
+            for nxt in settle(res.name, outcome):
+                launch(nxt)
     return outcomes
 
 
@@ -445,34 +386,82 @@ def _single(fn, weight=1.0):
     return build
 
 
+#: Target glitch-replay transitions per stealable Monte Carlo leaf.
+MC_SHARD_TRANSITIONS = 16
+
+
+def _merge_mc_shards(deps, _finish=None, _order=(), **params):
+    """Per-point merge: ordered shard outputs into a finish function."""
+    shards = [deps[name] for name in _order]
+    return _resolve_fn(_finish)(shards=shards, **params)
+
+
+def _mc_point_jobs(point_name, leaf_fn, shard_fn, finish_fn, weight,
+                   point_params):
+    """Jobs for one Monte Carlo power point.
+
+    When the shard plan has more than one cycle window the point
+    decomposes into per-window stealable leaves plus a deterministic
+    parent-side merge (named ``point_name``, so downstream deps are
+    unchanged).  A single-window plan keeps the classic monolithic leaf
+    — same name, same cache key, no merge overhead.
+    """
+    from repro.hdl.power.monte_carlo import power_shard_plan
+
+    n_cycles = point_params.get("n_cycles", 64)
+    windows = power_shard_plan(n_cycles, MC_SHARD_TRANSITIONS)
+    if len(windows) <= 1:
+        return [job(point_name, leaf_fn, weight=weight, **point_params)]
+    shard_weight = max(weight / len(windows), 0.5)
+    leaves = [job(f"{point_name}/t{a}-{b}", shard_fn, weight=shard_weight,
+                  t_first=a, t_last=b, **point_params)
+              for a, b in windows]
+    return leaves + [job(point_name, _merge_mc_shards,
+                         deps=[leaf.name for leaf in leaves],
+                         cacheable=False, _finish=finish_fn,
+                         _order=tuple(leaf.name for leaf in leaves),
+                         **point_params)]
+
+
 def _table3_jobs(name, params):
     from repro.eval.experiments import TABLE3_CONFIGS
 
-    leaves = [job(f"{name}/{key}", "repro.eval.experiments:table3_power_point",
-                  key=key, weight=4.0, **params)
-              for key, __ in TABLE3_CONFIGS]
-    return leaves + [job(name, _merge_keyed,
-                         deps=[leaf.name for leaf in leaves],
-                         cacheable=False,
-                         _build="repro.eval.orchestrator:_build_table3",
-                         _keys=tuple(key for key, __ in TABLE3_CONFIGS),
-                         _prefix=name)]
+    jobs = []
+    for key, __ in TABLE3_CONFIGS:
+        jobs.extend(_mc_point_jobs(
+            f"{name}/{key}",
+            "repro.eval.experiments:table3_power_point",
+            "repro.eval.experiments:table3_power_shard",
+            "repro.eval.experiments:table3_point_from_shards",
+            4.0, dict(params, key=key)))
+    return jobs + [job(name, _merge_keyed,
+                       deps=[f"{name}/{key}"
+                             for key, __ in TABLE3_CONFIGS],
+                       cacheable=False,
+                       _build="repro.eval.orchestrator:_build_table3",
+                       _keys=tuple(key for key, __ in TABLE3_CONFIGS),
+                       _prefix=name)]
 
 
 def _table5_jobs(name, params):
     from repro.eval.experiments import TABLE5_FLOPS
 
-    leaves = [job(f"{name}/{fmt}", "repro.eval.experiments:table5_format_point",
-                  fmt=fmt, weight=3.0, **params)
-              for fmt in TABLE5_FLOPS]
-    leaves.append(job(f"{name}/max_freq",
-                      "repro.eval.experiments:mf_max_freq_mhz", weight=0.5))
+    jobs = []
+    for fmt in TABLE5_FLOPS:
+        jobs.extend(_mc_point_jobs(
+            f"{name}/{fmt}",
+            "repro.eval.experiments:table5_format_point",
+            "repro.eval.experiments:table5_power_shard",
+            "repro.eval.experiments:table5_point_from_shards",
+            3.0, dict(params, fmt=fmt)))
+    jobs.append(job(f"{name}/max_freq",
+                    "repro.eval.experiments:mf_max_freq_mhz", weight=0.5))
     keys = tuple(TABLE5_FLOPS) + ("max_freq",)
-    return leaves + [job(name, _merge_keyed,
-                         deps=[leaf.name for leaf in leaves],
-                         cacheable=False,
-                         _build="repro.eval.orchestrator:_build_table5",
-                         _keys=keys, _prefix=name)]
+    return jobs + [job(name, _merge_keyed,
+                       deps=[f"{name}/{key}" for key in keys],
+                       cacheable=False,
+                       _build="repro.eval.orchestrator:_build_table5",
+                       _keys=keys, _prefix=name)]
 
 
 def _activity_jobs(name, params):
@@ -510,7 +499,7 @@ def _fault_jobs_factory(which, default_mutations, default_seed):
         from repro.eval.fault_injection import chunk_plan
 
         p = {"n_mutations": default_mutations, "seed": default_seed,
-             "chunks": 4, "mode": "differential", **params}
+             "chunks": None, "mode": "differential", **params}
         plan = chunk_plan(p["n_mutations"], p["seed"], p["chunks"])
         leaves = [job(f"{name}/chunk{i}",
                       "repro.eval.fault_injection:coverage_chunk",
@@ -598,33 +587,36 @@ def build_jobs(name, params=None):
 # public entry points
 # ----------------------------------------------------------------------
 
-def run_experiment(name, workers=0, cache=True, **params):
+def run_experiment(name, workers=0, cache=True, backend="auto", **params):
     """Run one experiment through the orchestrator; returns its result.
 
     This is what the benchmark drivers call: repeated benchmark
     *processes* then share the warm on-disk module and result caches
     instead of rebuilding private state.  ``cache`` accepts ``True``
     (default on-disk cache), ``False`` (no caching) or a
-    :class:`ResultCache` instance.
+    :class:`ResultCache` instance; ``backend`` one of ``auto``/
+    ``inline``/``fork``/``workers``.
     """
     outcomes = run_graph(build_jobs(name, params), workers=workers,
-                         cache=resolve_cache(cache))
+                         cache=resolve_cache(cache), backend=backend)
     return outcomes[name].value
 
 
-def run_experiments(requests, workers=0, cache=True):
+def run_experiments(requests, workers=0, cache=True, backend="auto"):
     """Run several experiments as one shared graph.
 
     ``requests`` is a sequence of ``(name, params)`` pairs; returns
     ``({name: result}, [JobOutcome ...])`` with outcomes in
-    deterministic job order.
+    deterministic job order.  All experiments share one backend and one
+    cache for the whole batch.
     """
     jobs: List[Job] = []
     finals = []
     for name, params in requests:
         jobs.extend(build_jobs(name, params))
         finals.append(name)
-    outcomes = run_graph(jobs, workers=workers, cache=resolve_cache(cache))
+    outcomes = run_graph(jobs, workers=workers,
+                         cache=resolve_cache(cache), backend=backend)
     results = {name: outcomes[name].value for name in finals}
     ordered = [outcomes[jb.name] for jb in jobs]
     return results, ordered

@@ -76,14 +76,17 @@ def report_sections(n_cycles=12, include_sweeps=True,
 def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
                     include_verification=False, mutations=12,
                     fault_mode="differential", workers=0,
-                    cache=True, filters=None, metrics=None):
+                    cache=True, filters=None, metrics=None,
+                    backend="auto"):
     """Run all experiments; returns the report text (and writes it).
 
     ``n_cycles`` controls Monte Carlo depth (power experiments);
     ``include_sweeps`` adds the ablation tables and
     ``include_verification`` the mutation-coverage campaigns.
     ``workers`` fans the job graph out over that many processes
-    (``<= 1`` runs serially — same bytes either way); ``cache`` is
+    (``<= 1`` runs serially — same bytes either way) and ``backend``
+    picks the execution backend (``auto``/``inline``/``fork``/
+    ``workers``; see :mod:`repro.eval.sched`); ``cache`` is
     ``True``/``False`` or a :class:`repro.eval.orchestrator.ResultCache`.
     ``filters`` (substrings matched against experiment names) narrows
     the section list.  ``metrics``, when a dict, is filled with the
@@ -105,12 +108,14 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
                     if any(f in s[1] or f in s[0] for f in filters)]
 
     reg.gauge("report.workers", workers)
+    reg.annotate("report.backend", backend)
     t0 = time.perf_counter()
     with obs.span("report:experiments", cat="report",
-                  sections=len(sections), workers=workers):
+                  sections=len(sections), workers=workers,
+                  backend=backend):
         results, outcomes = run_experiments(
             [(name, params) for __, name, params in sections],
-            workers=workers, cache=cache)
+            workers=workers, cache=cache, backend=backend)
     wall_s = time.perf_counter() - t0
 
     with obs.span("report:render", cat="report"):
@@ -166,6 +171,15 @@ def main(argv=None):
                         help="worker processes for the job graph "
                              "(default 1 = serial; same output bytes "
                              "either way)")
+    from repro.eval.sched import BACKEND_CHOICES
+
+    parser.add_argument("--backend", default="auto",
+                        choices=BACKEND_CHOICES,
+                        help="execution backend for the job graph: "
+                             "auto (inline when serial or "
+                             "oversubscribed, else fork), inline, "
+                             "fork, or the work-stealing 'workers' "
+                             "pool (default auto)")
     parser.add_argument("--filter", action="append", default=None,
                         metavar="SUBSTR",
                         help="only sections whose experiment name or "
@@ -220,6 +234,7 @@ def main(argv=None):
         cache=not args.no_cache,
         filters=args.filter,
         metrics=metrics,
+        backend=args.backend,
     )
     n_trace = None
     if args.trace:

@@ -1,0 +1,65 @@
+"""Pluggable execution backends for the experiment scheduler.
+
+The scheduler core in :mod:`repro.eval.orchestrator` owns the job
+graph; *how* cache-missing leaves actually execute is a backend choice:
+
+========  ==========================================================
+backend   what it is
+========  ==========================================================
+inline    zero-overhead serial execution in the scheduler's process —
+          auto-selected whenever ``effective_workers == 1`` (including
+          the oversubscription downgrade)
+fork      the classic fork-context ``ProcessPoolExecutor``
+workers   long-lived worker processes speaking the ``repro.sched/1``
+          wire protocol, scheduled by deque-based work stealing with
+          crash recovery and live result streaming
+========  ==========================================================
+
+:func:`make_backend` maps a name + worker count to an instance; the
+auto-selection policy itself (downgrades, oversubscription accounting)
+lives in the scheduler core, next to its obs counters.
+"""
+
+from repro.eval.sched.base import (
+    Backend,
+    LeafResult,
+    LeafTask,
+    call_leaf,
+    execute_task,
+    raise_leaf_failure,
+    resolve_fn,
+)
+from repro.eval.sched.fork import ForkBackend
+from repro.eval.sched.inline import InlineBackend
+from repro.eval.sched.stealing import WorkersBackend
+
+#: Every selectable backend, by registry key.
+BACKENDS = {
+    "inline": InlineBackend,
+    "fork": ForkBackend,
+    "workers": WorkersBackend,
+}
+
+#: What the CLI offers (``auto`` resolves in the scheduler core).
+BACKEND_CHOICES = ("auto",) + tuple(BACKENDS)
+
+
+def make_backend(name, workers):
+    """Instantiate backend ``name`` for ``workers`` processes."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        from repro.errors import SimulationError
+
+        raise SimulationError(
+            f"unknown scheduler backend {name!r}; choose from "
+            f"{', '.join(BACKEND_CHOICES)}") from None
+    return cls(workers)
+
+
+__all__ = [
+    "BACKENDS", "BACKEND_CHOICES", "Backend", "ForkBackend",
+    "InlineBackend", "LeafResult", "LeafTask", "WorkersBackend",
+    "call_leaf", "execute_task", "make_backend", "raise_leaf_failure",
+    "resolve_fn",
+]

@@ -1,0 +1,143 @@
+"""Execution-backend protocol of the experiment scheduler.
+
+The scheduler core (:mod:`repro.eval.orchestrator`) owns the job graph
+— dependency tracking, cache probes, parent-side merges — and delegates
+only one thing to a backend: *run these leaf tasks and stream their
+results back as each one finishes*.  That contract is three calls:
+
+* :meth:`Backend.submit` — hand over one :class:`LeafTask`;
+* :meth:`Backend.next_result` — block until **some** submitted task is
+  done and return its :class:`LeafResult` (completion order is the
+  backend's business; the scheduler's merges are keyed by name, so any
+  order yields identical graph results);
+* :meth:`Backend.close` — release workers/pools (backends are context
+  managers; ``close`` is idempotent).
+
+Backends start lazily: a graph whose leaves are all served from the
+result cache never forks a single process.
+
+:func:`execute_task` is the one worker-side entry every backend uses —
+it scopes the task's own metrics and trace spans with the exactly-once
+:func:`repro.obs.task_begin`/:func:`repro.obs.task_collect` protocol so
+the parent can merge them the moment the result arrives (live
+streaming, not at pool join).
+"""
+
+import importlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+
+
+@dataclass(frozen=True)
+class LeafTask:
+    """One leaf job as the backends see it.
+
+    ``fn`` is a ``"module.path:function"`` string (the multi-host-safe
+    spelling) or a picklable callable; ``params`` are sorted ``(key,
+    value)`` pairs.  ``fingerprint`` is the job's cache digest — it
+    rides along in the wire envelope so a remote executor can consult
+    its own content-addressed store.
+    """
+
+    name: str
+    fn: object
+    params: tuple = ()
+    weight: float = 1.0
+    fingerprint: str = ""
+
+
+@dataclass
+class LeafResult:
+    """One finished (or failed) leaf, streamed back to the scheduler."""
+
+    name: str
+    value: object = None
+    seconds: float = 0.0                 # worker-side execution time
+    worker: Optional[int] = None
+    obs_payload: Optional[dict] = None   # task_collect() payload
+    error: Optional[str] = None          # formatted traceback on failure
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def ok(self):
+        return self.error is None
+
+
+def resolve_fn(fn):
+    """A callable from a ``"module.path:function"`` spec (or itself)."""
+    if callable(fn):
+        return fn
+    module_name, __, func_name = fn.partition(":")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+def call_leaf(fn, params):
+    """Resolve and call a leaf function with its keyword params."""
+    return resolve_fn(fn)(**dict(params))
+
+
+def execute_task(task):
+    """Worker-side entry: run one task under a fresh obs scope.
+
+    Returns a :class:`LeafResult` — never raises.  A failing leaf ships
+    its traceback back instead of killing the worker loop (the original
+    exception rides along where transport allows, so the parent can
+    re-raise it verbatim).
+    """
+    obs.task_begin()
+    t0 = time.perf_counter()
+    try:
+        with obs.span(f"leaf:{task.name}", cat="orchestrator"):
+            value = call_leaf(task.fn, task.params)
+    except BaseException as exc:                     # noqa: BLE001
+        return LeafResult(name=task.name,
+                          seconds=time.perf_counter() - t0,
+                          obs_payload=obs.task_collect(),
+                          error=traceback.format_exc(), exception=exc)
+    return LeafResult(name=task.name, value=value,
+                      seconds=time.perf_counter() - t0,
+                      obs_payload=obs.task_collect())
+
+
+class Backend:
+    """Abstract execution backend (see module docstring for contract)."""
+
+    #: Registry key and the ``JobOutcome.mode`` label of its results.
+    name = "?"
+    mode = "worker"
+
+    def submit(self, task):
+        raise NotImplementedError
+
+    def next_result(self):
+        raise NotImplementedError
+
+    @property
+    def outstanding(self):
+        """Number of submitted tasks whose results were not yet taken."""
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def raise_leaf_failure(result):
+    """Re-raise a failed leaf in the parent, preserving what we can."""
+    from repro.errors import SimulationError
+
+    if result.exception is not None:
+        raise result.exception
+    raise SimulationError(
+        f"leaf job {result.name!r} failed in worker "
+        f"{result.worker}:\n{result.error}")

@@ -1,0 +1,127 @@
+"""The ``repro.sched/1`` wire protocol of the ``workers`` backend.
+
+One schema for every hop between the scheduler and a long-lived worker,
+designed so the same envelopes work across machines, not just across a
+fork:
+
+* the envelope itself is a plain dict of JSON-safe scalars — job names,
+  ``"module:function"`` specs, fingerprints, counters;
+* anything richer (param values, result objects, obs payloads) travels
+  as an explicit ``pickle.dumps`` *bytes field* inside the envelope, so
+  a future socket transport only needs length-prefixed frames, never
+  shared memory;
+* every frame carries ``schema: "repro.sched/1"`` and is validated on
+  receipt — a version skew fails loudly instead of unpickling garbage.
+
+Frame kinds:
+
+``job``
+    parent -> worker: one :class:`~repro.eval.sched.base.LeafTask`
+    (name, fn spec, pickled params, cache fingerprint).
+``result``
+    worker -> parent: pickled value + the worker's ``repro.obs/1``
+    metrics/trace payload + its execution seconds — sent the moment the
+    leaf finishes, which is what lets the parent stream spans live.
+``error``
+    worker -> parent: formatted traceback (and the pickled exception
+    when it survives pickling) for a failing leaf.
+``shutdown``
+    parent -> worker: drain and exit the worker loop.
+
+Transport here is a :class:`multiprocessing.connection.Connection`
+(pipe or UNIX socket); :func:`send_frame`/:func:`recv_frame` are the
+only two functions that touch it.
+"""
+
+import pickle
+
+SCHEMA = "repro.sched/1"
+
+
+class WireError(RuntimeError):
+    """A malformed or version-skewed frame."""
+
+
+def send_frame(conn, envelope):
+    """Ship one envelope over a connection."""
+    conn.send(envelope)
+
+
+def recv_frame(conn):
+    """Receive and validate one envelope (raises EOFError on hangup)."""
+    envelope = conn.recv()
+    if not isinstance(envelope, dict) \
+            or envelope.get("schema") != SCHEMA:
+        raise WireError(
+            f"bad frame: expected schema {SCHEMA!r}, got "
+            f"{envelope.get('schema') if isinstance(envelope, dict) else type(envelope).__name__!r}")
+    return envelope
+
+
+def job_envelope(task):
+    """``job`` frame for one :class:`~repro.eval.sched.base.LeafTask`."""
+    env = {"schema": SCHEMA, "kind": "job", "name": task.name,
+           "fingerprint": task.fingerprint,
+           "params": pickle.dumps(task.params,
+                                  protocol=pickle.HIGHEST_PROTOCOL)}
+    if isinstance(task.fn, str):
+        env["fn"] = task.fn
+    else:
+        # Local-transport convenience: callables still work over a
+        # fork; a multi-host executor would reject them here.
+        env["fn_pickle"] = pickle.dumps(task.fn,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+    return env
+
+
+def task_from_envelope(env):
+    """Rebuild the :class:`LeafTask` a ``job`` frame describes."""
+    from repro.eval.sched.base import LeafTask
+
+    fn = env["fn"] if "fn" in env else pickle.loads(env["fn_pickle"])
+    return LeafTask(name=env["name"], fn=fn,
+                    params=pickle.loads(env["params"]),
+                    fingerprint=env.get("fingerprint", ""))
+
+
+def result_envelope(result, worker):
+    """``result``/``error`` frame for one finished leaf."""
+    env = {"schema": SCHEMA, "name": result.name, "worker": worker,
+           "seconds": result.seconds, "obs": result.obs_payload}
+    if result.ok:
+        env["kind"] = "result"
+        env["payload"] = pickle.dumps(result.value,
+                                      protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        env["kind"] = "error"
+        env["error"] = result.error
+        try:
+            env["exception"] = pickle.dumps(
+                result.exception, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            env["exception"] = None
+    return env
+
+
+def result_from_envelope(env):
+    """Rebuild the :class:`LeafResult` a ``result``/``error`` frame holds."""
+    from repro.eval.sched.base import LeafResult
+
+    result = LeafResult(name=env["name"], worker=env["worker"],
+                        seconds=env["seconds"],
+                        obs_payload=env.get("obs"))
+    if env["kind"] == "result":
+        result.value = pickle.loads(env["payload"])
+    else:
+        result.error = env.get("error") or "worker error"
+        blob = env.get("exception")
+        if blob is not None:
+            try:
+                result.exception = pickle.loads(blob)
+            except Exception:
+                result.exception = None
+    return result
+
+
+def shutdown_envelope():
+    return {"schema": SCHEMA, "kind": "shutdown"}

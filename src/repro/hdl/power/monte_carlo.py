@@ -126,6 +126,25 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
         sim_stats = {"engine": "zero-delay", "kernel": "none",
                      "transitions": n_cycles - 1, "workers": 1,
                      "elapsed_s": t_level}
+
+    return _assemble_report(module, library, n_cycles, zero_toggles,
+                            event_toggles, sim_stats, energies, owner,
+                            zero_energy, t_level, frequency_mhz, glitch,
+                            attribution)
+
+
+def _assemble_report(module, library, n_cycles, zero_toggles,
+                     event_toggles, sim_stats, energies, owner,
+                     zero_energy, t_level, frequency_mhz, glitch,
+                     attribution):
+    """Fold toggle counts into the :class:`PowerReport`.
+
+    Shared tail of :func:`estimate_power` and
+    :func:`power_report_from_shards`, so a report assembled from
+    independently-executed shard leaves is arithmetic-identical to the
+    monolithic run (the toggle counts themselves merge by integer
+    summation).
+    """
     sim_stats = obs.normalize_sim_stats(sim_stats)
 
     # Effective switched energy: the functional transitions plus the
@@ -218,6 +237,127 @@ def _event_toggles(module, library, run, n_cycles, workers=0):
     return totals, stats
 
 
+def transition_windows(n_cycles, shards):
+    """Split transitions ``1 .. n_cycles-1`` into contiguous windows.
+
+    Returns ``[(t_first, t_last)]`` pairs covering every transition
+    exactly once, balanced to within one transition.  ``shards`` is
+    clamped to the transition count.
+    """
+    transitions = n_cycles - 1
+    if transitions < 1:
+        raise SimulationError("need at least two cycles to measure power")
+    shards = max(1, min(shards, transitions))
+    base, extra = divmod(transitions, shards)
+    windows = []
+    t = 1
+    for w in range(shards):
+        size = base + (1 if w < extra else 0)
+        windows.append((t, t + size - 1))
+        t += size
+    return windows
+
+
+def power_shard_plan(n_cycles, max_transitions=16):
+    """Windows for fine-grained stealable replay leaves.
+
+    Sizes each window to at most ``max_transitions`` transitions so a
+    Monte Carlo power point decomposes into many small, independently
+    stealable leaves rather than one long pole.
+    """
+    transitions = max(n_cycles - 1, 1)
+    shards = -(-transitions // max(1, int(max_transitions)))
+    return transition_windows(n_cycles, shards)
+
+
+def power_replay_shard(module, library, stimulus, n_cycles, t_first,
+                       t_last):
+    """One stealable glitch-replay leaf: transitions ``t_first..t_last``.
+
+    Re-runs the (cheap, deterministic) levelized simulation to recover
+    the per-net pattern words, then replays only the window.  Returns
+    ``(totals, stats)`` exactly as the in-process shard runner does, so
+    :func:`power_report_from_shards` merges either source identically.
+    """
+    if n_cycles < 2:
+        raise SimulationError("need at least two cycles to measure power")
+    sim = LevelizedSimulator(module)
+    run = sim.run(stimulus, n_cycles)
+    esim = shared_event_simulator(module, library)
+    with obs.span("power:shard", cat="power", t_first=t_first,
+                  t_last=t_last):
+        totals, stats = _replay(esim, run.values, t_first, t_last)
+    obs.registry().record(
+        "power.shards",
+        {"t_first": t_first, "t_last": t_last,
+         **obs.normalize_sim_stats(dict(stats))})
+    return totals, stats
+
+
+def merge_shard_results(n_nets, results):
+    """Deterministically merge per-window ``(totals, stats)`` pairs.
+
+    Toggle counts sum element-wise (integer arithmetic — order
+    independent); perf counters sum, ``wheel_max_bucket`` takes the
+    max, ``kernel`` last-wins.  Identical rules to the in-process
+    sharded replay, so any partitioning of the transition sequence
+    yields the same merged result.
+    """
+    totals = [0] * n_nets
+    merged = {"engine": "wheel", "kernel": "python", "transitions": 0,
+              "events_processed": 0, "cancellations": 0,
+              "wheel_buckets": 0, "wheel_max_bucket": 0}
+    for window_totals, stats in results:
+        merged["kernel"] = stats["kernel"]
+        for net, c in enumerate(window_totals):
+            if c:
+                totals[net] += c
+        for key in ("transitions", "events_processed", "cancellations",
+                    "wheel_buckets"):
+            merged[key] += stats[key]
+        if stats["wheel_max_bucket"] > merged["wheel_max_bucket"]:
+            merged["wheel_max_bucket"] = stats["wheel_max_bucket"]
+    return totals, merged
+
+
+def power_report_from_shards(module, library, stimulus, n_cycles,
+                             shard_outputs, frequency_mhz=100.0,
+                             attribution=False):
+    """Assemble a :class:`PowerReport` from shard-leaf outputs.
+
+    ``shard_outputs`` are the ``(totals, stats)`` pairs produced by
+    :func:`power_replay_shard` over a full :func:`power_shard_plan`
+    partition.  The zero-delay baseline is recomputed locally (it is a
+    single cheap levelized pass), the glitch toggles come from the
+    merged shards — numerically identical to a monolithic
+    :func:`estimate_power` run over the same stimulus.
+    """
+    if n_cycles < 2:
+        raise SimulationError("need at least two cycles to measure power")
+    if not shard_outputs:
+        raise SimulationError("power_report_from_shards needs >=1 shard")
+    t_level = time.perf_counter()
+    with obs.span("power:levelized", cat="power", module=module.name,
+                  cycles=n_cycles):
+        sim = LevelizedSimulator(module)
+        run = sim.run(stimulus, n_cycles)
+    t_level = time.perf_counter() - t_level
+
+    energies = net_toggle_energies(module, library)
+    owner = module.block_of_net()
+    zero_toggles = run.toggles_per_net()
+    zero_energy = sum(t * e for t, e in zip(zero_toggles, energies))
+
+    event_toggles, sim_stats = merge_shard_results(module.n_nets,
+                                                   shard_outputs)
+    sim_stats["workers"] = len(shard_outputs)
+    sim_stats["elapsed_s"] = t_level
+    return _assemble_report(module, library, n_cycles, zero_toggles,
+                            event_toggles, sim_stats, energies, owner,
+                            zero_energy, t_level, frequency_mhz, True,
+                            attribution)
+
+
 def _event_toggles_sharded(module, library, packed_values, n_cycles,
                            workers):
     """Shard the transition sequence over worker processes.
@@ -232,13 +372,8 @@ def _event_toggles_sharded(module, library, packed_values, n_cycles,
 
     transitions = n_cycles - 1
     workers = min(workers, transitions)
-    base, extra = divmod(transitions, workers)
-    windows = []
-    t = 1
-    for w in range(workers):
-        size = base + (1 if w < extra else 0)
-        windows.append((t, t + size - 1))
-        t += size
+    windows = transition_windows(n_cycles, workers)
+    workers = len(windows)
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:                        # pragma: no cover - non-POSIX
@@ -251,21 +386,10 @@ def _event_toggles_sharded(module, library, packed_values, n_cycles,
         results = list(pool.map(_shard_run, windows))
     elapsed = time.perf_counter() - t0
 
-    totals = [0] * module.n_nets
-    merged = {"engine": "wheel", "kernel": "python", "transitions": 0,
-              "events_processed": 0, "cancellations": 0,
-              "wheel_buckets": 0, "wheel_max_bucket": 0}
-    for window_totals, stats, obs_payload in results:
+    for _totals, _stats, obs_payload in results:
         obs.task_merge(obs_payload)
-        merged["kernel"] = stats["kernel"]
-        for net, c in enumerate(window_totals):
-            if c:
-                totals[net] += c
-        for key in ("transitions", "events_processed", "cancellations",
-                    "wheel_buckets"):
-            merged[key] += stats[key]
-        if stats["wheel_max_bucket"] > merged["wheel_max_bucket"]:
-            merged["wheel_max_bucket"] = stats["wheel_max_bucket"]
+    totals, merged = merge_shard_results(
+        module.n_nets, [(t, s) for t, s, _ in results])
     merged["workers"] = workers
     merged["elapsed_s"] = elapsed
     return totals, merged

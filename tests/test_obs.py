@@ -347,8 +347,11 @@ class TestWorkerMerge:
         from repro.eval.orchestrator import run_experiment
 
         reg = obs.registry()
+        # Explicit backend: the auto policy would downgrade an
+        # oversubscribed request to inline on small boxes, but this
+        # test is *about* worker-process metrics merging.
         result = run_experiment("table3", workers=2, cache=False,
-                                n_cycles=4)
+                                n_cycles=4, backend="fork")
         snap = reg.snapshot()
         assert set(result.power_mw) \
             == {"comb_r4", "comb_r16", "pipe_r4", "pipe_r16"}
@@ -372,7 +375,8 @@ class TestWorkerMerge:
         run_experiment("table3", workers=0, cache=False, n_cycles=4)
         serial = reg.snapshot()
         reg.reset()
-        run_experiment("table3", workers=2, cache=False, n_cycles=4)
+        run_experiment("table3", workers=2, cache=False, n_cycles=4,
+                       backend="fork")
         parallel = reg.snapshot()
         for key in ("orchestrator.jobs", "power.estimates",
                     "sim.replay.transitions"):

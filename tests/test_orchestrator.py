@@ -136,8 +136,8 @@ def test_cache_invalidated_by_fingerprint_change(tmp_path):
 def test_cache_corrupt_entry_falls_back(tmp_path):
     cache = ResultCache(root=str(tmp_path), fingerprint="fp-1")
     run_experiment("table4", cache=cache)
-    entries = [os.path.join(str(tmp_path), f)
-               for f in os.listdir(str(tmp_path))]
+    objects = os.path.join(str(tmp_path), "objects")
+    entries = [os.path.join(objects, f) for f in os.listdir(objects)]
     assert entries
     for path in entries:
         with open(path, "wb") as fh:
@@ -157,11 +157,15 @@ def test_cache_entry_roundtrips_values(tmp_path):
     cache.store(jb, 5040)
     hit, value = cache.load(jb)
     assert hit and value == 5040
-    # And the stored entry is a plain pickle on disk.
-    (entry,) = os.listdir(str(tmp_path))
-    with open(os.path.join(str(tmp_path), entry), "rb") as fh:
+    # And the stored entry is a content-addressed plain pickle on disk:
+    # objects/<sha256(key)>.pkl next to the index.
+    objects = os.path.join(str(tmp_path), "objects")
+    (entry,) = os.listdir(objects)
+    assert entry.endswith(".pkl") and len(entry) == 64 + len(".pkl")
+    with open(os.path.join(objects, entry), "rb") as fh:
         payload = pickle.load(fh)
     assert payload["value"] == 5040
+    assert os.path.exists(os.path.join(str(tmp_path), "index.json"))
 
 
 def test_cache_env_disable(monkeypatch):
@@ -189,13 +193,19 @@ def test_parallel_run_counts_oversubscription(monkeypatch):
     from repro import obs
 
     monkeypatch.setattr(orch.os, "cpu_count", lambda: 1)
-    before = obs.registry().snapshot()["counters"].get(
-        "orchestrator.workers.oversubscribed", 0)
+    counters = obs.registry().snapshot()["counters"]
+    before = counters.get("orchestrator.workers.oversubscribed", 0)
+    downgraded_before = counters.get("orchestrator.backend.downgraded", 0)
     jobs = [job("leaf", "repro.eval.fault_injection:chunk_plan",
                 n_mutations=4, seed=1, chunks=2)]
-    run_graph(jobs, workers=2, cache=None)
+    outcomes = run_graph(jobs, workers=2, cache=None)
     snap = obs.registry().snapshot()
     assert snap["counters"]["orchestrator.workers.oversubscribed"] \
         == before + 1
     assert snap["gauges"]["orchestrator.workers.requested"] == 2
     assert snap["gauges"]["orchestrator.workers.cpu_count"] == 1
+    # ...and the auto policy downgrades to inline rather than paying
+    # fork-pool overhead for time slicing on too few cores.
+    assert snap["counters"]["orchestrator.backend.downgraded"] \
+        == downgraded_before + 1
+    assert outcomes["leaf"].mode == "inline"
