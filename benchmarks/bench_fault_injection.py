@@ -15,15 +15,15 @@ parallel runs produce identical coverage figures.
 ``test_bench_fault_sim_race`` additionally races the two campaign
 engines head to head — full clone-and-resimulate vs the differential
 cone engine — asserts their :class:`CoverageResult` values are
-bit-identical, and emits ``BENCH_fault_sim.json`` at the repository
-root with the per-mutation speedup, mean fan-out cone size and
-early-exit rate.
+bit-identical, and emits ``BENCH_fault_sim.json`` (``repro.bench/1``
+envelope) at the repository root with the per-mutation speedup, mean
+fan-out cone size and early-exit rate.
 """
 
-import json
 import os
 import time
-from pathlib import Path
+
+from _bench_io import write_bench
 
 from repro.eval.fault_injection import (
     campaign_battery,
@@ -34,8 +34,6 @@ from repro.eval.experiments import cached_module
 from repro.eval.orchestrator import run_experiment
 from repro.hdl.cell import cell_num_inputs
 from repro.hdl.sim.differential import DifferentialEngine
-
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fault_sim.json"
 
 #: Mutations for the head-to-head race — the full path re-simulates the
 #: whole radix-16 datapath per mutation, so this is the slow side.
@@ -118,7 +116,7 @@ def test_bench_fault_sim_race(report_sink):
         "detected": diff.detected,
         "cpu_count": os.cpu_count(),
     }
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench("fault_sim", report, seed=seed)
     report_sink("fault_sim_race",
                 "\n".join(f"{k:>24}: {v}" for k, v in report.items()))
     assert per_mutation_speedup >= 5.0

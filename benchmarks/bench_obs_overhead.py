@@ -6,20 +6,24 @@ three configurations —
 * **obs disabled**: registry muted (``set_enabled(False)``), tracing
   off — the floor;
 * **obs on, trace off**: the shipping default — counters and records
-  collected, spans a no-op;
+  collected (now including the log-bucket quantile sketches on every
+  timer/histogram observation) **with the background gauge sampler
+  running**, spans a no-op;
 * **obs on, trace on**: spans recorded too (what ``--trace`` pays).
 
 Each leg takes the best of ``ROUNDS`` runs (min filters scheduler
 noise), asserts the per-net toggle counts are identical across legs,
-and writes ``BENCH_obs_overhead.json`` at the repository root.  The
-gate: metrics-only overhead must stay under 5% of the disabled floor.
-Tracing overhead is recorded honestly but not gated — it is opt-in.
+and writes ``BENCH_obs_overhead.json`` (``repro.bench/1`` envelope) at
+the repository root.  The gate: metrics-plus-sampler overhead must stay
+under 5% of the disabled floor.  Tracing overhead is recorded honestly
+but not gated — it is opt-in.
 """
 
 import json
 import os
 import time
-from pathlib import Path
+
+from _bench_io import write_bench
 
 from repro import obs
 from repro.eval.experiments import cached_module
@@ -31,8 +35,6 @@ from repro.hdl.sim.levelized import LevelizedSimulator
 N_CYCLES = int(os.environ.get("REPRO_OBS_BENCH_CYCLES", "10"))
 ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "5"))
 MAX_METRICS_OVERHEAD = 0.05
-
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
 
 
 def _best_of(fn, rounds):
@@ -63,16 +65,25 @@ def test_bench_obs_overhead(report_sink):
         return totals
 
     reg = obs.registry()
+    # The "metrics" leg pays for everything the live-telemetry default
+    # costs: sketch bucketing on every observation plus the background
+    # sampler thread ticking its ring buffers.
+    sampler = obs.TimeSeriesSampler(interval_s=0.05, registry=reg)
+    sampler.add_source("bench.constant", lambda: 1.0)
+    sampler.add_source("bench.registry.mean",
+                       lambda: (reg.counter_value("sampler.ticks") or None))
     legs = {}
     try:
         reg.set_enabled(False)
         legs["disabled"] = _best_of(replay, ROUNDS)
         reg.set_enabled(True)
         reg.reset()
+        sampler.start()
         legs["metrics"] = _best_of(replay, ROUNDS)
         obs.start_trace()
         legs["trace"] = _best_of(replay, ROUNDS)
     finally:
+        sampler.stop()
         obs.stop_trace()
         reg.set_enabled(True)
         reg.reset()
@@ -93,13 +104,13 @@ def test_bench_obs_overhead(report_sink):
         "n_cycles": N_CYCLES,
         "rounds": ROUNDS,
         "kernel": kernel,
+        "sampler_enabled": True,
+        "quantile_sketches": True,
         "max_metrics_overhead": MAX_METRICS_OVERHEAD,
         "legs": {name: leg_entry(seconds)
                  for name, (seconds, __) in legs.items()},
     }
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench("obs_overhead", payload, seed=2017)
     report_sink("obs_overhead", json.dumps(payload, indent=2))
 
     metrics_overhead = payload["legs"]["metrics"]["overhead_vs_disabled"]

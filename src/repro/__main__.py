@@ -7,6 +7,8 @@ Usage::
     python -m repro --cycles 32 table3   # deeper Monte Carlo
     python -m repro export-verilog mfmult out.v
     python -m repro cache stats          # result-cache maintenance
+    python -m repro perf record          # append BENCH_* to perf history
+    python -m repro perf check           # gate vs the rolling baseline
 """
 
 import argparse
@@ -61,6 +63,11 @@ def main(argv=None):
         from repro.eval.cache import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "perf":
+        # Perf-history record/check: delegate to the perf-gate CLI.
+        from repro.eval.perf import main as perf_main
+
+        return perf_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.targets and args.targets[0] == "export-verilog":

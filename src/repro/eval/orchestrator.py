@@ -242,7 +242,7 @@ def _resolve_backend_choice(backend, workers):
     return backend, max(1, workers)
 
 
-def run_graph(jobs, workers=0, cache=None, backend="auto"):
+def run_graph(jobs, workers=0, cache=None, backend="auto", progress=None):
     """Execute a job graph; returns ``{name: JobOutcome}``.
 
     ``backend`` picks the execution backend (``auto``/``inline``/
@@ -255,17 +255,35 @@ def run_graph(jobs, workers=0, cache=None, backend="auto"):
     identical to a serial run regardless of backend, worker count or
     steal schedule.  Cache lookups and stores happen only in the
     parent — worker processes never touch the cache directory.
+
+    ``progress``, when given, is called after every finished job with a
+    dict ``{"name", "mode", "cached", "seconds", "done", "total",
+    "outstanding"}`` — what the report CLI's ``--live`` view renders.
+    It runs on the scheduler thread; keep it cheap and never raise.
     """
     by_name, order, dependents = _check_graph(jobs)
     chosen, eff_workers = _resolve_backend_choice(backend, workers)
     results: Dict[str, object] = {}
     outcomes: Dict[str, JobOutcome] = {}
+    total = len(by_name)
+
+    def notify(outcome, outstanding=0):
+        if progress is None:
+            return
+        progress({"name": outcome.name, "mode": outcome.mode,
+                  "cached": outcome.cached,
+                  "seconds": outcome.seconds,
+                  "done": len(outcomes), "total": total,
+                  "outstanding": outstanding})
 
     if chosen == "inline":
-        for name in order:
-            outcome = _finish(by_name[name], results, cache)
-            outcomes[name] = outcome
-            results[name] = outcome.value
+        with obs.span("graph:run", cat="orchestrator", jobs=total,
+                      backend=chosen):
+            for name in order:
+                outcome = _finish(by_name[name], results, cache)
+                outcomes[name] = outcome
+                results[name] = outcome.value
+                notify(outcome)
         return outcomes
 
     waiting = {name: len(by_name[name].deps) for name in by_name}
@@ -282,13 +300,19 @@ def run_graph(jobs, workers=0, cache=None, backend="auto"):
                 unblocked.append(dependent)
         return unblocked
 
-    with make_backend(chosen, eff_workers) as pool:
+    reg = obs.registry()
+    with make_backend(chosen, eff_workers) as pool, \
+            obs.span("graph:run", cat="orchestrator", jobs=total,
+                     backend=chosen, workers=eff_workers):
 
         def launch(name):
             jb = by_name[name]
             if jb.deps:
                 # Merge: deps are complete by construction when queued.
-                for nxt in settle(name, _finish(jb, results, cache)):
+                outcome = _finish(jb, results, cache)
+                unblocked = settle(name, outcome)
+                notify(outcome, pool.outstanding)
+                for nxt in unblocked:
                     launch(nxt)
                 return
             if jb.cacheable and cache is not None:
@@ -302,19 +326,32 @@ def run_graph(jobs, workers=0, cache=None, backend="auto"):
                                        cat="orchestrator", mode="cache",
                                        cached=True)
                     _note_outcome(outcome)
-                    for nxt in settle(name, outcome):
+                    unblocked = settle(name, outcome)
+                    notify(outcome, pool.outstanding)
+                    for nxt in unblocked:
                         launch(nxt)
                     return
             fingerprint = key_digest(job_key(
                 cache.fingerprint if cache is not None else "", jb))
+            trace_ctx = None
+            if obs.is_tracing():
+                # One flow arrow per submitted leaf: tail here (inside
+                # the graph span), head inside the worker's leaf span.
+                trace_ctx = dict(obs.current_context() or {},
+                                 flow=obs.new_span_id())
+                obs.flow_start(f"sched:{name}", trace_ctx["flow"],
+                               cat="orchestrator")
             pool.submit(LeafTask(name=name, fn=jb.fn, params=jb.params,
                                  weight=jb.weight,
-                                 fingerprint=fingerprint))
+                                 fingerprint=fingerprint,
+                                 trace_ctx=trace_ctx))
+            reg.gauge("orchestrator.leaves.inflight", pool.outstanding)
 
         for name in ready:
             launch(name)
         while pool.outstanding:
             res = pool.next_result()
+            reg.gauge("orchestrator.leaves.inflight", pool.outstanding)
             if not res.ok:
                 raise_leaf_failure(res)
             # Stream the worker's spans/metrics in the moment the leaf
@@ -332,8 +369,11 @@ def run_graph(jobs, workers=0, cache=None, backend="auto"):
                                mode=pool.mode, cached=False,
                                worker=res.worker)
             _note_outcome(outcome)
-            for nxt in settle(res.name, outcome):
+            unblocked = settle(res.name, outcome)
+            notify(outcome, pool.outstanding)
+            for nxt in unblocked:
                 launch(nxt)
+        reg.gauge("orchestrator.leaves.inflight", 0)
     return outcomes
 
 
@@ -602,13 +642,15 @@ def run_experiment(name, workers=0, cache=True, backend="auto", **params):
     return outcomes[name].value
 
 
-def run_experiments(requests, workers=0, cache=True, backend="auto"):
+def run_experiments(requests, workers=0, cache=True, backend="auto",
+                    progress=None):
     """Run several experiments as one shared graph.
 
     ``requests`` is a sequence of ``(name, params)`` pairs; returns
     ``({name: result}, [JobOutcome ...])`` with outcomes in
     deterministic job order.  All experiments share one backend and one
-    cache for the whole batch.
+    cache for the whole batch.  ``progress`` is forwarded to
+    :func:`run_graph` (the ``--live`` per-job callback).
     """
     jobs: List[Job] = []
     finals = []
@@ -616,7 +658,8 @@ def run_experiments(requests, workers=0, cache=True, backend="auto"):
         jobs.extend(build_jobs(name, params))
         finals.append(name)
     outcomes = run_graph(jobs, workers=workers,
-                         cache=resolve_cache(cache), backend=backend)
+                         cache=resolve_cache(cache), backend=backend,
+                         progress=progress)
     results = {name: outcomes[name].value for name in finals}
     ordered = [outcomes[jb.name] for jb in jobs]
     return results, ordered

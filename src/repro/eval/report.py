@@ -77,7 +77,7 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
                     include_verification=False, mutations=12,
                     fault_mode="differential", workers=0,
                     cache=True, filters=None, metrics=None,
-                    backend="auto"):
+                    backend="auto", progress=None):
     """Run all experiments; returns the report text (and writes it).
 
     ``n_cycles`` controls Monte Carlo depth (power experiments);
@@ -91,7 +91,9 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
     ``filters`` (substrings matched against experiment names) narrows
     the section list.  ``metrics``, when a dict, is filled with the
     metrics-registry snapshot of the run (the ``repro.obs/1`` schema
-    that ``--json`` and ``--metrics-json`` emit).
+    that ``--json`` and ``--metrics-json`` emit).  ``progress`` is the
+    per-finished-job callback :func:`repro.eval.orchestrator.run_graph`
+    documents — the CLI's ``--live`` view.
     """
     from repro.eval.orchestrator import run_experiments
 
@@ -115,7 +117,8 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
                   backend=backend):
         results, outcomes = run_experiments(
             [(name, params) for __, name, params in sections],
-            workers=workers, cache=cache, backend=backend)
+            workers=workers, cache=cache, backend=backend,
+            progress=progress)
     wall_s = time.perf_counter() - t0
 
     with obs.span("report:render", cat="report"):
@@ -154,6 +157,51 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
     if metrics is not None:
         metrics.update(reg.snapshot())
     return text
+
+
+def _live_printer(stream=None):
+    """The ``--live`` progress renderer: one status line per finished job.
+
+    Writes to stderr so piped/stdout consumers (``--json``, the report
+    text) stay clean; on a TTY the line updates in place.
+    """
+    stream = stream if stream is not None else sys.stderr
+    t0 = time.perf_counter()
+    is_tty = getattr(stream, "isatty", lambda: False)()
+
+    def show(info):
+        mode = "cache" if info["cached"] else info["mode"]
+        line = (f"[{info['done']:>3}/{info['total']}] "
+                f"{info['name'][:46]:<46} {mode:<7}"
+                f"{info['seconds']:7.2f}s  "
+                f"in-flight {info['outstanding']:<3} "
+                f"elapsed {time.perf_counter() - t0:6.1f}s")
+        print(line, file=stream, end="\r" if is_tty else "\n", flush=True)
+
+    show.finish = lambda: is_tty and print(file=stream)
+    return show
+
+
+def _cache_hit_rate():
+    reg = obs.registry()
+    jobs = reg.counter_value("orchestrator.jobs")
+    if not jobs:
+        return None
+    return reg.counter_value("orchestrator.jobs.cached") / jobs
+
+
+def _start_report_telemetry(port):
+    """The orchestrator's opt-in telemetry: endpoint + sampled series."""
+    from repro.obs.http import TelemetryServer
+
+    sampler = obs.sampler()
+    reg = obs.registry()
+    sampler.add_source(
+        "orchestrator.leaves.inflight",
+        lambda: reg.gauge_value("orchestrator.leaves.inflight", 0))
+    sampler.add_source("orchestrator.cache.hit_rate", _cache_hit_rate)
+    sampler.start()
+    return TelemetryServer(port=port).start()
 
 
 def main(argv=None):
@@ -195,6 +243,17 @@ def main(argv=None):
                         help="additionally write the metrics snapshot "
                              "(same repro.obs/1 schema as --json) to "
                              "PATH")
+    parser.add_argument("--live", action="store_true",
+                        help="stream per-job progress lines to stderr "
+                             "as leaves finish (fed by the backends' "
+                             "streamed results)")
+    parser.add_argument("--telemetry-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live /metrics, /metrics.json, "
+                             "/series.json and /healthz on "
+                             "127.0.0.1:PORT for the duration of the "
+                             "run (0 = ephemeral port, printed to "
+                             "stderr)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record Chrome trace-event spans (jobs, "
                              "cache probes, module builds, compiles, "
@@ -222,20 +281,32 @@ def main(argv=None):
 
     if args.trace:
         obs.start_trace()
+    telemetry = None
+    if args.telemetry_port is not None:
+        telemetry = _start_report_telemetry(args.telemetry_port)
+        print(f"telemetry: {telemetry.url}", file=sys.stderr)
+    progress = _live_printer() if args.live else None
     metrics: Dict = {}
-    generate_report(
-        n_cycles=args.cycles,
-        out_path=args.output,
-        include_sweeps=not args.no_sweeps,
-        include_verification=not args.no_verification,
-        mutations=args.mutations,
-        fault_mode=args.fault_mode,
-        workers=args.workers,
-        cache=not args.no_cache,
-        filters=args.filter,
-        metrics=metrics,
-        backend=args.backend,
-    )
+    try:
+        generate_report(
+            n_cycles=args.cycles,
+            out_path=args.output,
+            include_sweeps=not args.no_sweeps,
+            include_verification=not args.no_verification,
+            mutations=args.mutations,
+            fault_mode=args.fault_mode,
+            workers=args.workers,
+            cache=not args.no_cache,
+            filters=args.filter,
+            metrics=metrics,
+            backend=args.backend,
+            progress=progress,
+        )
+    finally:
+        if progress is not None:
+            progress.finish()
+        if telemetry is not None:
+            telemetry.stop()
     n_trace = None
     if args.trace:
         n_trace = obs.write_trace(args.trace)

@@ -48,6 +48,12 @@ class LeafTask:
     params: tuple = ()
     weight: float = 1.0
     fingerprint: str = ""
+    #: Coordinator-side trace context (``{"trace", "span", "flow"}``) —
+    #: lets the worker's ``leaf:`` span resolve to the coordinator's
+    #: graph span and close its ``sched:`` flow arrow.  Excluded from
+    #: equality/hashing; ``None`` when tracing is off.
+    trace_ctx: Optional[dict] = field(default=None, compare=False,
+                                      repr=False)
 
 
 @dataclass
@@ -89,15 +95,24 @@ def execute_task(task):
     re-raise it verbatim).
     """
     obs.task_begin()
+    ctx = getattr(task, "trace_ctx", None)
+    obs.adopt_context(ctx)
     t0 = time.perf_counter()
     try:
         with obs.span(f"leaf:{task.name}", cat="orchestrator"):
+            if ctx and ctx.get("flow"):
+                # Close the coordinator's submit arrow inside this
+                # slice so the stitched trace shows submit -> execute.
+                obs.flow_finish(f"sched:{task.name}", ctx["flow"],
+                                cat="orchestrator")
             value = call_leaf(task.fn, task.params)
     except BaseException as exc:                     # noqa: BLE001
         return LeafResult(name=task.name,
                           seconds=time.perf_counter() - t0,
                           obs_payload=obs.task_collect(),
                           error=traceback.format_exc(), exception=exc)
+    finally:
+        obs.adopt_context(None)
     return LeafResult(name=task.name, value=value,
                       seconds=time.perf_counter() - t0,
                       obs_payload=obs.task_collect())

@@ -64,6 +64,9 @@ def job_envelope(task):
            "fingerprint": task.fingerprint,
            "params": pickle.dumps(task.params,
                                   protocol=pickle.HIGHEST_PROTOCOL)}
+    if task.trace_ctx:
+        # JSON-safe scalars only: {"trace", "span", "flow"} strings.
+        env["trace"] = dict(task.trace_ctx)
     if isinstance(task.fn, str):
         env["fn"] = task.fn
     else:
@@ -81,7 +84,8 @@ def task_from_envelope(env):
     fn = env["fn"] if "fn" in env else pickle.loads(env["fn_pickle"])
     return LeafTask(name=env["name"], fn=fn,
                     params=pickle.loads(env["params"]),
-                    fingerprint=env.get("fingerprint", ""))
+                    fingerprint=env.get("fingerprint", ""),
+                    trace_ctx=env.get("trace"))
 
 
 def result_envelope(result, worker):

@@ -21,7 +21,15 @@ See docs/observability.md for naming conventions and the trace-viewing
 howto.
 """
 
+from repro.obs.http import TelemetryServer, prometheus_exposition
 from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.quantile import (
+    QuantileSketch,
+    diff_bucket_dicts,
+    merge_bucket_dicts,
+    quantiles_from_aggregate,
+)
+from repro.obs.sampler import TimeSeriesSampler, sampler
 from repro.obs.schema import (
     SIM_STATS_DEFAULTS,
     SIM_STATS_KEYS,
@@ -29,23 +37,36 @@ from repro.obs.schema import (
     normalize_sim_stats,
 )
 from repro.obs.trace import (
+    adopt_context,
     complete_event,
+    current_context,
     drain_events,
     extend_events,
+    flow_finish,
+    flow_start,
     is_tracing,
+    new_span_id,
     span,
     start_trace,
     stop_trace,
+    trace_id,
     trace_json,
     write_trace,
 )
 
 __all__ = [
     "MetricsRegistry", "registry",
+    "TelemetryServer", "prometheus_exposition",
+    "QuantileSketch", "diff_bucket_dicts", "merge_bucket_dicts",
+    "quantiles_from_aggregate",
+    "TimeSeriesSampler", "sampler",
     "SIM_STATS_DEFAULTS", "SIM_STATS_KEYS",
     "assert_sim_stats_schema", "normalize_sim_stats",
-    "complete_event", "drain_events", "extend_events", "is_tracing",
-    "span", "start_trace", "stop_trace", "trace_json", "write_trace",
+    "adopt_context", "complete_event", "current_context",
+    "drain_events", "extend_events", "flow_finish", "flow_start",
+    "is_tracing", "new_span_id",
+    "span", "start_trace", "stop_trace", "trace_id", "trace_json",
+    "write_trace",
     "task_begin", "task_collect", "task_merge",
 ]
 

@@ -1,0 +1,198 @@
+"""Stdlib-only HTTP telemetry endpoint.
+
+:class:`TelemetryServer` wraps a :class:`http.server.ThreadingHTTPServer`
+in a daemon thread and serves the process's live observability state:
+
+``/metrics``
+    Prometheus text exposition (version 0.0.4) of the registry —
+    counters as ``repro_<name>_total``, gauges as gauges, timers and
+    histograms as summaries with ``{quantile="0.5|0.95|0.99"}`` rows
+    computed from the log-bucket sketches plus ``_count``/``_sum``.
+``/metrics.json``
+    The raw ``repro.obs/1`` registry snapshot.
+``/series.json``
+    The background sampler's ring buffers (``repro.obs.series/1``).
+``/healthz``
+    JSON verdict from the registered health checks; HTTP 200 when every
+    check passes, 503 otherwise.
+
+The server binds ``port=0`` by default (ephemeral — read ``.port`` after
+``start()``), never writes, and holds no locks across request handling
+beyond the registry's own snapshot lock, so scraping a busy server is
+safe.  Both ``serve.Server`` (``telemetry_port=``) and the report CLI
+(``--telemetry-port``) opt in through this class; they share the
+process-wide registry and sampler, so one endpoint sees everything.
+"""
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import registry as _registry
+from repro.obs.quantile import quantiles_from_aggregate
+from repro.obs.sampler import sampler as _sampler
+
+#: Quantiles exposed per summary metric.
+EXPOSITION_QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name, suffix=""):
+    """Sanitize a dotted registry name into a Prometheus metric name."""
+    return "repro_" + _NAME_RE.sub("_", name) + suffix
+
+
+def _fmt(value):
+    if value != value:                       # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_exposition(snapshot):
+    """Render a ``repro.obs/1`` snapshot as Prometheus text exposition."""
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = metric_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for key in ("timers", "histograms"):
+        for name, agg in snapshot.get(key, {}).items():
+            metric = metric_name(name)
+            lines.append(f"# TYPE {metric} summary")
+            estimates = quantiles_from_aggregate(agg, EXPOSITION_QUANTILES)
+            if estimates:
+                for q, est in zip(EXPOSITION_QUANTILES, estimates.values()):
+                    lines.append(
+                        f'{metric}{{quantile="{q:g}"}} {_fmt(est)}')
+            lines.append(f"{metric}_count {_fmt(agg['count'])}")
+            lines.append(f"{metric}_sum {_fmt(agg['total'])}")
+    return "\n".join(lines) + "\n"
+
+
+class TelemetryServer:
+    """Daemon-thread HTTP server exposing metrics, series and health."""
+
+    def __init__(self, port=0, host="127.0.0.1", registry=None,
+                 sampler=None):
+        self._registry = registry if registry is not None else _registry()
+        self._sampler = sampler if sampler is not None else _sampler()
+        self._checks: Dict[str, Callable[[], dict]] = {}
+        self._checks_lock = threading.Lock()
+        self._thread = None
+
+        telemetry = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *a):     # keep scrapes off stderr
+                pass
+
+            def do_GET(self):
+                telemetry._handle(self)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+
+    # -- health checks --------------------------------------------------
+
+    def add_health_check(self, name, fn):
+        """Register check ``name``: a zero-arg callable returning a dict
+        with at least ``{"ok": bool}`` (extra keys pass through)."""
+        with self._checks_lock:
+            self._checks[name] = fn
+        return self
+
+    def health(self):
+        """Run every check: ``{"ok": all_ok, "checks": {...}}``."""
+        results = {}
+        with self._checks_lock:
+            checks = list(self._checks.items())
+        for name, fn in checks:
+            try:
+                verdict = dict(fn())
+                verdict.setdefault("ok", False)
+            except Exception as exc:
+                verdict = {"ok": False, "error": repr(exc)}
+            results[name] = verdict
+        return {"ok": all(v.get("ok") for v in results.values()),
+                "checks": results}
+
+    # -- request handling -----------------------------------------------
+
+    def _handle(self, handler):
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = prometheus_exposition(self._registry.snapshot())
+            self._respond(handler, 200, body,
+                          "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/metrics.json":
+            self._respond_json(handler, 200, self._registry.snapshot())
+        elif path == "/series.json":
+            self._respond_json(handler, 200, self._sampler.series())
+        elif path == "/healthz":
+            verdict = self.health()
+            self._respond_json(handler, 200 if verdict["ok"] else 503,
+                               verdict)
+        else:
+            self._respond(handler, 404, "not found\n", "text/plain")
+        self._registry.inc("telemetry.requests")
+
+    @staticmethod
+    def _respond(handler, status, body, content_type):
+        data = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(data)))
+        handler.end_headers()
+        handler.wfile.write(data)
+
+    @classmethod
+    def _respond_json(cls, handler, status, payload):
+        cls._respond(handler, status, json.dumps(payload) + "\n",
+                     "application/json")
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self):
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self):
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def running(self):
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self):
+        if self.running:
+            return self
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        kwargs={"poll_interval": 0.1},
+                                        name="repro-obs-telemetry",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

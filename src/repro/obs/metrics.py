@@ -15,7 +15,9 @@ small and dependency-free:
   dict (schema ``repro.obs/1``) that serializes as-is and that
   :meth:`MetricsRegistry.merge` consumes on the other side of a process
   boundary: counters add, gauges last-write-wins, timers/histograms
-  combine count/total/min/max, records append.
+  combine count/total/min/max plus their log-bucket quantile sketches
+  (exact bucket-wise addition — see :mod:`repro.obs.quantile`),
+  records append.
 
 Instrument sites at *operation* granularity (a replay window, a cache
 probe, a job) — never per event; the registry is for observability, not
@@ -23,10 +25,17 @@ profiling.  ``REPRO_NO_OBS=1`` (or :meth:`set_enabled`) turns every
 mutation into a no-op for overhead-paranoid runs.
 """
 
+import math
 import os
 import threading
 import time
 from typing import Dict, List, Optional
+
+from repro.obs.quantile import (
+    _LOG_GAMMA,
+    merge_bucket_dicts,
+    quantiles_from_aggregate,
+)
 
 #: Snapshot schema identifier; bump when the shape changes.
 SCHEMA = "repro.obs/1"
@@ -122,6 +131,41 @@ class MetricsRegistry:
         """Context manager timing its body into :meth:`observe`."""
         return _Timer(self, name)
 
+    # ------------------------------------------------------------------
+    # read-side accessors (telemetry endpoints, samplers, CLIs)
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name, default=0):
+        """Current value of counter ``name`` (no mutation)."""
+        with self._lock:
+            self._guard()
+            return self._counters.get(name, default)
+
+    def gauge_value(self, name, default=None):
+        """Current value of gauge ``name`` (no mutation)."""
+        with self._lock:
+            self._guard()
+            return self._gauges.get(name, default)
+
+    def aggregate(self, name):
+        """A copy of the timer or histogram aggregate ``name``, or None."""
+        with self._lock:
+            self._guard()
+            agg = self._timers.get(name) or self._histograms.get(name)
+            if agg is None:
+                return None
+            out = dict(agg)
+            out["buckets"] = dict(agg.get("buckets", ()))
+            return out
+
+    def quantiles(self, name, qs=(0.5, 0.95, 0.99)):
+        """Streaming quantile estimates of timer/histogram ``name``.
+
+        Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (labels follow
+        ``qs``) or ``None`` when the metric has no samples yet.
+        """
+        return quantiles_from_aggregate(self.aggregate(name), qs)
+
     def record(self, name, row):
         """Append a structured row (a JSON-safe dict) to stream ``name``.
 
@@ -161,9 +205,9 @@ class MetricsRegistry:
                 "pid": self._pid,
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
-                "timers": {k: dict(v)
+                "timers": {k: _copy_aggregate(v)
                            for k, v in sorted(self._timers.items())},
-                "histograms": {k: dict(v)
+                "histograms": {k: _copy_aggregate(v)
                                for k, v in sorted(self._histograms.items())},
                 "records": {k: [dict(r) for r in v]
                             for k, v in sorted(self._records.items())},
@@ -193,12 +237,15 @@ class MetricsRegistry:
                 for name, agg in snapshot.get(key, {}).items():
                     mine = store.get(name)
                     if mine is None:
-                        store[name] = dict(agg)
+                        mine = store[name] = dict(agg)
+                        mine["buckets"] = dict(agg.get("buckets", ()))
                     else:
                         mine["count"] += agg["count"]
                         mine["total"] += agg["total"]
                         mine["min"] = min(mine["min"], agg["min"])
                         mine["max"] = max(mine["max"], agg["max"])
+                        merge_bucket_dicts(mine.setdefault("buckets", {}),
+                                           agg.get("buckets"))
             for name, rows in snapshot.get("records", {}).items():
                 mine = self._records.setdefault(name, [])
                 for row in rows:
@@ -210,10 +257,18 @@ class MetricsRegistry:
 
 
 def _combine(store, name, value):
+    # Inlined sketch bucketing (one math.log) keeps the hot path at a
+    # single function call per observation.
+    if value > 0:
+        bucket = str(math.floor(math.log(value) / _LOG_GAMMA))
+    elif value == 0:
+        bucket = "zero"
+    else:
+        bucket = "neg"
     agg = store.get(name)
     if agg is None:
         store[name] = {"count": 1, "total": value, "min": value,
-                       "max": value}
+                       "max": value, "buckets": {bucket: 1}}
     else:
         agg["count"] += 1
         agg["total"] += value
@@ -221,6 +276,14 @@ def _combine(store, name, value):
             agg["min"] = value
         if value > agg["max"]:
             agg["max"] = value
+        buckets = agg["buckets"]
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
+
+def _copy_aggregate(agg):
+    out = dict(agg)
+    out["buckets"] = dict(agg.get("buckets", ()))
+    return out
 
 
 class _Timer:

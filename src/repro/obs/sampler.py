@@ -1,0 +1,153 @@
+"""Background gauge sampler: time-series ring buffers of live state.
+
+The metrics registry answers "how much, in total"; the sampler answers
+"what does it look like *right now*, and over the last minute".  A
+:class:`TimeSeriesSampler` owns a set of named **sources** — zero-arg
+callables returning a number (or ``None`` to skip a tick) — and a
+daemon thread that samples every source on a fixed interval into a
+bounded ring buffer per series.  Typical sources: per-lane serve queue
+depths, dispatcher in-flight words, orchestrator in-flight leaves,
+cache hit rate, mean word occupancy.
+
+Each tick also mirrors the latest value into the registry as a gauge
+(``<series>`` verbatim), so the Prometheus ``/metrics`` endpoint
+exposes the current value of every sampled series for free while
+``/series.json`` serves the full ring buffers.
+
+Sampling is polite by construction: a failing source is dropped into
+the ``sampler.errors`` counter rather than killing the thread, and the
+ring buffers bound memory at ``capacity`` points per series.  The
+sampler is opt-in — nothing starts it implicitly — and
+:meth:`sample_once` gives tests a deterministic single tick without a
+thread.
+"""
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+#: Serialized ring-buffer schema identifier.
+SERIES_SCHEMA = "repro.obs.series/1"
+
+#: Default points kept per series (at 0.5 s that is two minutes).
+DEFAULT_CAPACITY = 240
+
+
+class TimeSeriesSampler:
+    """Samples named gauge sources into bounded ring buffers."""
+
+    def __init__(self, interval_s=0.5, capacity=DEFAULT_CAPACITY,
+                 registry=None):
+        if registry is None:
+            from repro.obs.metrics import registry as _registry
+
+            registry = _registry()
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._sources: Dict[str, Callable[[], Optional[float]]] = {}
+        self._series: Dict[str, deque] = {}
+        self._stop = threading.Event()
+        self._thread = None
+
+    # -- sources --------------------------------------------------------
+
+    def add_source(self, name, fn):
+        """Register source ``name``; replaces an existing source."""
+        with self._lock:
+            self._sources[name] = fn
+            self._series.setdefault(name, deque(maxlen=self.capacity))
+        return self
+
+    def remove_source(self, name):
+        with self._lock:
+            self._sources.pop(name, None)
+
+    @property
+    def sources(self):
+        with self._lock:
+            return tuple(self._sources)
+
+    # -- sampling -------------------------------------------------------
+
+    def sample_once(self, now=None):
+        """Take one sample of every source (what the thread does per tick)."""
+        now = time.time() if now is None else now
+        with self._lock:
+            items = list(self._sources.items())
+        for name, fn in items:
+            try:
+                value = fn()
+            except Exception:
+                self._registry.inc("sampler.errors")
+                continue
+            if value is None:
+                continue
+            value = float(value)
+            with self._lock:
+                self._series[name].append((round(now, 3), value))
+            self._registry.gauge(name, value)
+        self._registry.inc("sampler.ticks")
+
+    def _loop(self):
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def running(self):
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self):
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-obs-sampler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # -- snapshot -------------------------------------------------------
+
+    def series(self):
+        """JSON-ready ring buffers: ``{schema, interval_s, series}``."""
+        with self._lock:
+            return {
+                "schema": SERIES_SCHEMA,
+                "interval_s": self.interval_s,
+                "capacity": self.capacity,
+                "series": {name: [[t, v] for t, v in points]
+                           for name, points in sorted(self._series.items())},
+            }
+
+
+#: Process-wide sampler: shared by the serve and orchestrator telemetry
+#: opt-ins so one HTTP endpoint sees every registered series.
+_SAMPLER = None
+_SAMPLER_LOCK = threading.Lock()
+
+
+def sampler():
+    """The process-wide :class:`TimeSeriesSampler` (created lazily, not
+    started — callers opt in with ``start()``)."""
+    global _SAMPLER
+    with _SAMPLER_LOCK:
+        if _SAMPLER is None:
+            _SAMPLER = TimeSeriesSampler()
+        return _SAMPLER

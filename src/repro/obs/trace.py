@@ -21,6 +21,18 @@ clears inherited events on first append (pid guard) and ships its own
 buffer back through :func:`repro.obs.task_collect`; the parent calls
 :func:`extend_events`.  Events carry the recording pid, so the viewer
 separates parent and worker tracks for free.
+
+**Stitching.**  Every span carries a process-unique ``span`` id and the
+id of its ``parent`` — the enclosing span on the same thread, or a
+remote parent adopted from a serialized context.  :func:`current_context`
+captures ``{"trace", "span"}`` at a submission site (the orchestrator
+enqueueing a leaf, a client submitting a transaction);
+:func:`adopt_context` installs it on the far side so the worker's spans
+resolve to the coordinator's.  :func:`flow_start` / :func:`flow_finish`
+draw the Chrome flow arrows (``ph": "s"/"f"``, matched by id+name+cat)
+from the submit span into the executing span, so one merged trace shows
+coordinator→worker and client→server→lane as connected slices with no
+orphan parent ids.
 """
 
 import atexit
@@ -34,6 +46,69 @@ _lock = threading.Lock()
 _enabled = False
 _events: List[dict] = []
 _pid = os.getpid()
+
+# -- span identity ------------------------------------------------------
+# Ids embed the pid, so they stay unique across forked workers without
+# coordination; the per-process counter makes them unique within one.
+_id_lock = threading.Lock()
+_id_next = 0
+_trace_id: Optional[str] = None
+_tls = threading.local()
+
+
+def new_span_id():
+    """A process-unique span/flow id (``"<pid-hex>.<seq-hex>"``)."""
+    global _id_next
+    with _id_lock:
+        _id_next += 1
+        return f"{os.getpid():x}.{_id_next:x}"
+
+
+def trace_id():
+    """This process's trace id (inherited across fork; adoptable)."""
+    global _trace_id
+    if _trace_id is None:
+        _trace_id = f"t{os.getpid():x}"
+    return _trace_id
+
+
+def _span_stack():
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def current_context():
+    """The serializable trace context at this call site, or ``None``.
+
+    ``{"trace": ..., "span": ...}`` names the innermost open span on
+    this thread; ship it across a process or queue boundary and install
+    it there with :func:`adopt_context`.
+    """
+    stack = _span_stack()
+    if not stack:
+        return None
+    return {"trace": trace_id(), "span": stack[-1]}
+
+
+def adopt_context(ctx):
+    """Install a remote parent: spans opened on this thread (while no
+    local span encloses them) parent to ``ctx["span"]``."""
+    global _trace_id
+    if not ctx:
+        _tls.adopted = None
+        return
+    if ctx.get("trace"):
+        _trace_id = ctx["trace"]
+    _tls.adopted = ctx.get("span")
+
+
+def _current_parent():
+    stack = _span_stack()
+    if stack:
+        return stack[-1]
+    return getattr(_tls, "adopted", None)
 
 
 def is_tracing():
@@ -96,25 +171,63 @@ class span:
             s["mode"] = run_the_job()
     """
 
-    __slots__ = ("name", "cat", "args", "_t0")
+    __slots__ = ("name", "cat", "args", "_t0", "_id")
 
     def __init__(self, name, cat="repro", **args):
         self.name = name
         self.cat = cat
         self.args = args
         self._t0 = None
+        self._id = None
 
     def __enter__(self):
         if _enabled:
             self._t0 = time.perf_counter()
+            self._id = new_span_id()
+            parent = _current_parent()
+            self.args["span"] = self._id
+            if parent is not None:
+                self.args["parent"] = parent
+            _span_stack().append(self._id)
         return self.args
 
     def __exit__(self, *exc):
+        if self._id is not None:
+            stack = _span_stack()
+            if stack and stack[-1] == self._id:
+                stack.pop()
         if self._t0 is not None and _enabled:
             now = time.perf_counter()
             complete_event(self.name, self._t0, now - self._t0,
                            cat=self.cat, **self.args)
         return False
+
+
+def flow_start(name, flow_id, cat="repro"):
+    """Open a flow arrow at the submitting site (``ph": "s"``).
+
+    Call inside the span doing the submit so the arrow's tail lands on
+    that slice; the matching :func:`flow_finish` (same ``name``,
+    ``flow_id`` and ``cat``) lands the head on the executing slice.
+    """
+    if not _enabled:
+        return
+    _append({
+        "name": name, "cat": cat, "ph": "s", "id": flow_id,
+        "ts": time.perf_counter() * 1e6,
+        "pid": os.getpid(), "tid": threading.get_native_id(),
+    })
+
+
+def flow_finish(name, flow_id, cat="repro"):
+    """Close a flow arrow at the executing site (``ph": "f"``, ``bp:e``)."""
+    if not _enabled:
+        return
+    _append({
+        "name": name, "cat": cat, "ph": "f", "bp": "e", "id": flow_id,
+        "ts": time.perf_counter() * 1e6,
+        "pid": os.getpid(), "tid": threading.get_native_id(),
+    })
 
 
 def drain_events():

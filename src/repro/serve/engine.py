@@ -71,10 +71,44 @@ def _shared_reducer_sim():
     return module, LevelizedSimulator(module)
 
 
+#: Lanes whose engine finished building in this process, and the repr of
+#: the failure for any lane whose build raised — what /healthz reports.
+_READY_LANES = set()
+_FAILED_LANES = {}
+
+
 @functools.lru_cache(maxsize=None)
 def lane_engine(kind):
     """The process-wide engine for ``kind`` (compile-once, share-everywhere)."""
-    return LaneEngine(kind)
+    try:
+        engine = LaneEngine(kind)
+    except Exception as exc:
+        _FAILED_LANES[kind.value] = repr(exc)
+        raise
+    _READY_LANES.add(kind.value)
+    _FAILED_LANES.pop(kind.value, None)
+    return engine
+
+
+def ready_lanes():
+    """Lane names whose engines are built (readiness is lazy: a lane
+    becomes ready on its first batch — or via :func:`warm_lanes`)."""
+    return frozenset(_READY_LANES)
+
+
+def failed_lanes():
+    """``{lane: error-repr}`` for engines whose build raised."""
+    return dict(_FAILED_LANES)
+
+
+def warm_lanes(kinds):
+    """Eagerly build the engines for ``kinds``; returns the ready set."""
+    for kind in kinds:
+        try:
+            lane_engine(kind)
+        except Exception:
+            pass                   # recorded in failed_lanes()
+    return ready_lanes()
 
 
 class LaneEngine:

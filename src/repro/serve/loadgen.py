@@ -28,6 +28,7 @@ import sys
 import time
 
 from repro import obs
+from repro.obs.quantile import QuantileSketch, diff_bucket_dicts
 from repro.bits.ieee754 import BINARY16, BINARY32, BINARY64
 from repro.eval.workloads import WorkloadGenerator
 from repro.errors import FormatError
@@ -149,12 +150,18 @@ def warm_engines(mix=None):
 
 def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
              max_wait=0.02, max_depth=4096, burst_mean=16, gap_ms=0.0,
-             specials=0.02, mix=None, verify=True, warm=True):
+             specials=0.02, mix=None, verify=True, warm=True,
+             telemetry_port=None, before_stop=None):
     """Drive one load run; returns the result record (JSON-ready).
 
     ``baseline=True`` is the one-transaction-per-word configuration:
     every word carries a single pattern, so the requests/sec it sustains
     is the unbatched floor the coalescing server is measured against.
+
+    ``telemetry_port`` (0 = ephemeral) starts the server's HTTP
+    telemetry endpoint for the run; ``before_stop(server)`` is called
+    after the drain while the server — and its endpoint — is still
+    live, so callers can scrape ``/metrics`` mid-flight.
     """
     traffic = TrafficGenerator(seed=seed, mix=mix, specials=specials)
     txs = [traffic.next_transaction() for _ in range(requests)]
@@ -163,9 +170,15 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
 
     reg = obs.registry()
     counters_before = dict(reg.snapshot()["counters"])
+    # The registry is process-cumulative; diff the latency sketch's
+    # buckets around the run so the quantiles describe *this* run even
+    # when several run_load() calls share a process (bench_serve.py).
+    agg_before = reg.aggregate("serve.latency_ms")
+    buckets_before = (agg_before or {}).get("buckets", {})
 
     server = Server(max_batch=1 if baseline else max_batch,
-                    max_wait=max_wait, max_depth=max_depth)
+                    max_wait=max_wait, max_depth=max_depth,
+                    telemetry_port=telemetry_port)
     tickets = []
     t0 = time.perf_counter()
     i = 0
@@ -179,7 +192,10 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
             time.sleep(gap_ms / 1000.0)
     server.drain()
     wall_s = time.perf_counter() - t0
+    if before_stop is not None:
+        before_stop(server)
     server.stop()
+    server.disable_telemetry()
 
     mismatches = 0
     latencies_ms = []
@@ -191,6 +207,30 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
         if verify and result != reference_result(tx):
             mismatches += 1
     latencies_ms.sort()
+
+    # Run-scoped quantiles from the registry's log-bucket sketch: the
+    # same machinery /metrics exposes, so the CLI summary and the HTTP
+    # endpoint agree.  Exact min/max from the tickets clamp the bucket
+    # midpoints.
+    agg_after = reg.aggregate("serve.latency_ms") or {}
+    sketch = QuantileSketch.from_dict(
+        diff_bucket_dicts(agg_after.get("buckets", {}), buckets_before))
+    lat_lo = latencies_ms[0] if latencies_ms else None
+    lat_hi = latencies_ms[-1] if latencies_ms else None
+    latency_ms = {
+        "p50": sketch.quantile(0.50, lo=lat_lo, hi=lat_hi),
+        "p95": sketch.quantile(0.95, lo=lat_lo, hi=lat_hi),
+        "p99": sketch.quantile(0.99, lo=lat_lo, hi=lat_hi),
+        "max": lat_hi,
+    }
+    if latency_ms["p50"] is None and latencies_ms:
+        # Tracing/metrics disabled: fall back to the exact order stats.
+        latency_ms = {
+            "p50": _percentile(latencies_ms, 0.50),
+            "p95": _percentile(latencies_ms, 0.95),
+            "p99": _percentile(latencies_ms, 0.99),
+            "max": lat_hi,
+        }
 
     snap = reg.snapshot()
     counters = {
@@ -223,17 +263,52 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
         "mean_occupancy": (round(requests / n_flushes, 3)
                            if n_flushes else None),
         "word_capacity": WORD_PATTERNS,
-        "latency_ms": {
-            "p50": _percentile(latencies_ms, 0.50),
-            "p90": _percentile(latencies_ms, 0.90),
-            "p99": _percentile(latencies_ms, 0.99),
-            "max": latencies_ms[-1] if latencies_ms else None,
-        },
+        "latency_ms": latency_ms,
+        "latency_quantile_source": ("sketch" if sketch.count else "exact"),
         "software_lanes": counters.get("serve.software_lanes", 0),
         "verified": bool(verify),
         "mismatches": mismatches if verify else None,
     }
     return record
+
+
+def _make_scraper(out_dir):
+    """A ``before_stop`` hook scraping the live telemetry endpoint.
+
+    Fetches ``/metrics`` (Prometheus text), ``/metrics.json`` and
+    ``/healthz`` over real HTTP while the burst's server still owns its
+    queues, and writes each body into ``out_dir`` — the artifact the CI
+    telemetry-smoke job asserts against.
+    """
+    import os
+    import urllib.error
+    import urllib.request
+
+    def scrape(server):
+        telemetry = server.telemetry
+        if telemetry is None:
+            return
+        # A short burst can finish inside the sampling interval; force
+        # one tick so the queue-depth/occupancy gauges and ring buffers
+        # are populated in the artifact.
+        obs.sampler().sample_once()
+        os.makedirs(out_dir, exist_ok=True)
+        for route, fname in (("/metrics", "metrics.txt"),
+                             ("/metrics.json", "metrics.json"),
+                             ("/series.json", "series.json"),
+                             ("/healthz", "healthz.json")):
+            try:
+                with urllib.request.urlopen(telemetry.url + route,
+                                            timeout=10) as resp:
+                    body = resp.read()
+            except urllib.error.HTTPError as exc:   # 503 still has a body
+                body = exc.read()
+            with open(os.path.join(out_dir, fname), "wb") as fh:
+                fh.write(body)
+        print(f"scraped telemetry from {telemetry.url} into {out_dir}",
+              file=sys.stderr)
+
+    return scrape
 
 
 def main(argv=None):
@@ -257,6 +332,18 @@ def main(argv=None):
                              "zero/subnormal/inf/NaN")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the per-transaction reference check")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        metavar="MS",
+                        help="exit nonzero when the sketch p99 latency "
+                             "exceeds this budget")
+    parser.add_argument("--telemetry-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics and /healthz during the run "
+                             "(0 = ephemeral port)")
+    parser.add_argument("--scrape-dir", metavar="DIR", default=None,
+                        help="scrape /metrics, /metrics.json and /healthz "
+                             "into DIR while the burst's server is still "
+                             "live (implies --telemetry-port 0)")
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="write the run record as JSON")
     parser.add_argument("--json", action="store_true",
@@ -267,13 +354,21 @@ def main(argv=None):
                         help="record Chrome trace-event spans")
     args = parser.parse_args(argv)
 
+    telemetry_port = args.telemetry_port
+    before_stop = None
+    if args.scrape_dir is not None:
+        if telemetry_port is None:
+            telemetry_port = 0
+        before_stop = _make_scraper(args.scrape_dir)
+
     if args.trace:
         obs.start_trace()
     record = run_load(
         requests=args.requests, seed=args.seed, baseline=args.baseline,
         max_batch=args.max_batch, max_wait=args.max_wait,
         max_depth=args.max_depth, burst_mean=args.burst, gap_ms=args.gap_ms,
-        specials=args.specials, verify=not args.no_verify)
+        specials=args.specials, verify=not args.no_verify,
+        telemetry_port=telemetry_port, before_stop=before_stop)
     if args.trace:
         obs.write_trace(args.trace)
     if args.metrics_json:
@@ -299,12 +394,23 @@ def main(argv=None):
         for lane, rps in record["per_lane_requests_per_s"].items():
             print(f"  {lane:<9} {record['per_lane_requests'][lane]:>6} req"
                   f"   {rps:>10.1f} req/s")
-        print(f"latency ms: p50={lat['p50']:.2f} p90={lat['p90']:.2f} "
+        print(f"latency ms ({record['latency_quantile_source']}): "
+              f"p50={lat['p50']:.2f} p95={lat['p95']:.2f} "
               f"p99={lat['p99']:.2f} max={lat['max']:.2f}")
         if record["verified"]:
             print(f"verified bit-identical vs reference: "
                   f"{record['mismatches']} mismatches")
-    return 0 if (not record["verified"] or record["mismatches"] == 0) else 1
+    status = 0 if (not record["verified"] or record["mismatches"] == 0) else 1
+    if args.slo_p99_ms is not None:
+        p99 = record["latency_ms"]["p99"]
+        if p99 is None or p99 > args.slo_p99_ms:
+            print(f"SLO BREACH: p99 {p99 if p99 is None else round(p99, 3)}"
+                  f" ms > budget {args.slo_p99_ms} ms", file=sys.stderr)
+            status = status or 2
+        else:
+            print(f"SLO ok: p99 {p99:.3f} ms <= {args.slo_p99_ms} ms",
+                  file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -34,6 +34,9 @@ class PendingTx:
     tx: object
     ticket: object
     enqueued_at: float = 0.0
+    #: Submit-side trace context and flow-arrow id (tracing only).
+    trace_ctx: Optional[dict] = None
+    flow_id: Optional[str] = None
 
 
 @dataclass

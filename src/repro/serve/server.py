@@ -26,9 +26,15 @@ regardless of how transactions land in words.
 Observability (``repro.obs``): counters ``serve.requests`` /
 ``serve.<lane>.requests`` / ``serve.flushes.<reason>``, histograms
 ``serve.batch.occupancy`` (patterns used per dispatched word),
-``serve.queue.depth`` and ``serve.latency_ms``, timer
-``serve.flush.wall``, and ``serve:flush:<lane>`` / ``serve:run:<lane>``
-trace spans.
+``serve.queue.depth``, ``serve.latency_ms`` / ``serve.<lane>.latency_ms``
+and the per-lane stage histograms ``serve.<lane>.stage.enqueue_ms`` /
+``.flush_ms`` / ``.demux_ms``, timer ``serve.flush.wall``, and
+``serve:flush:<lane>`` / ``serve:run:<lane>`` trace spans.  Submit-side
+spans are stitched to the flush span with ``serve:tx:<lane>`` flow
+arrows.  ``telemetry_port=`` (or :meth:`Server.enable_telemetry`) opts
+into the live HTTP endpoint — ``/metrics``, ``/metrics.json``,
+``/series.json``, ``/healthz`` — plus a background sampler recording
+per-lane queue depths, in-flight words and mean word occupancy.
 """
 
 import threading
@@ -36,13 +42,16 @@ import time
 
 from repro import obs
 from repro.errors import FormatError, QueueFullError, SimulationError
-from repro.serve.engine import lane_engine
+from repro.serve.engine import failed_lanes, lane_engine, ready_lanes
 from repro.serve.queueing import FLUSH_FULL, BatchingQueue, PendingTx
 from repro.serve.transactions import (
     WORD_PATTERNS,
     Transaction,
     TxKind,
 )
+
+#: /healthz flags a lane as saturated past this fraction of max_depth.
+QUEUE_SATURATION_LIMIT = 0.9
 
 
 class Ticket:
@@ -146,10 +155,15 @@ class Server:
         Start the dispatcher thread immediately.  ``autostart=False``
         gives a deterministic manual server driven by :meth:`step` /
         :meth:`drain` — what the property tests use.
+    telemetry_port:
+        When not ``None``, start the HTTP telemetry endpoint on this
+        port (0 = ephemeral; read ``server.telemetry.port``) together
+        with the background gauge sampler.
     """
 
     def __init__(self, max_batch=WORD_PATTERNS, max_wait=0.005,
-                 max_depth=4096, lanes=None, autostart=True):
+                 max_depth=4096, lanes=None, autostart=True,
+                 telemetry_port=None):
         kinds = tuple(lanes) if lanes is not None else tuple(TxKind)
         self._queues = {
             kind: BatchingQueue(lane=kind.value, max_batch=max_batch,
@@ -161,9 +175,12 @@ class Server:
         self._draining = False
         self._running = False
         self._thread = None
+        self._telemetry = None
         obs.registry().annotate("serve.word_capacity", WORD_PATTERNS)
         if autostart:
             self.start()
+        if telemetry_port is not None:
+            self.enable_telemetry(telemetry_port)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -191,6 +208,82 @@ class Server:
         """Drain everything in flight, then stop."""
         self.drain()
         self.stop()
+        self.disable_telemetry()
+
+    # -- telemetry ------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The :class:`~repro.obs.TelemetryServer`, or ``None``."""
+        return self._telemetry
+
+    def enable_telemetry(self, port=0):
+        """Start the HTTP telemetry endpoint and the gauge sampler.
+
+        Registers the server's health checks (dispatcher liveness,
+        lane-engine readiness, queue saturation) and its time-series
+        sources (per-lane queue depth, in-flight words, mean word
+        occupancy), then binds ``127.0.0.1:<port>`` (0 = ephemeral).
+        """
+        if self._telemetry is not None:
+            return self._telemetry
+        from repro.obs.http import TelemetryServer
+
+        telemetry = TelemetryServer(port=port)
+        telemetry.add_health_check("dispatcher", self._dispatcher_health)
+        telemetry.add_health_check("lanes", self._lane_health)
+        telemetry.add_health_check("queues", self._queue_health)
+        sampler = obs.sampler()
+        for kind, queue in self._queues.items():
+            sampler.add_source(f"serve.queue.depth.{kind.value}",
+                               lambda q=queue: q.depth)
+        sampler.add_source("serve.inflight.words", lambda: self._inflight)
+        sampler.add_source("serve.occupancy.mean", self._mean_occupancy)
+        sampler.start()
+        self._telemetry = telemetry.start()
+        return self._telemetry
+
+    def disable_telemetry(self):
+        """Stop the endpoint and unregister this server's sources."""
+        if self._telemetry is None:
+            return
+        sampler = obs.sampler()
+        for kind in self._queues:
+            sampler.remove_source(f"serve.queue.depth.{kind.value}")
+        sampler.remove_source("serve.inflight.words")
+        sampler.remove_source("serve.occupancy.mean")
+        if not sampler.sources:
+            sampler.stop()
+        self._telemetry.stop()
+        self._telemetry = None
+
+    def _dispatcher_health(self):
+        alive = self._thread is not None and self._thread.is_alive()
+        return {"ok": bool(self._running and alive),
+                "running": self._running, "thread_alive": alive}
+
+    def _lane_health(self):
+        failed = failed_lanes()
+        lanes = {k.value for k in self._queues}
+        return {"ok": not (failed.keys() & lanes),
+                "ready": sorted(lanes & ready_lanes()),
+                "lanes": sorted(lanes),
+                "failed": {k: v for k, v in failed.items() if k in lanes}}
+
+    def _queue_health(self):
+        with self._cond:
+            depths = {k.value: q.depth for k, q in self._queues.items()}
+            worst = max((q.depth / q.max_depth
+                         for q in self._queues.values()), default=0.0)
+        return {"ok": worst < QUEUE_SATURATION_LIMIT,
+                "depths": depths, "saturation": round(worst, 4),
+                "limit": QUEUE_SATURATION_LIMIT}
+
+    def _mean_occupancy(self):
+        agg = obs.registry().aggregate("serve.batch.occupancy")
+        if not agg or not agg["count"]:
+            return None
+        return agg["total"] / agg["count"]
 
     def __enter__(self):
         return self.start()
@@ -213,8 +306,16 @@ class Server:
         if queue is None:
             raise FormatError(f"this server has no {tx.kind.value} lane")
         ticket = Ticket(tx.kind)
+        flow_id = None
+        if obs.is_tracing():
+            # Arrow tail on the submitting span, head on the flush span.
+            flow_id = obs.new_span_id()
+            obs.flow_start(f"serve:tx:{tx.kind.value}", flow_id,
+                           cat="serve")
         pending = PendingTx(tx=tx, ticket=ticket,
-                            enqueued_at=ticket.submitted_at)
+                            enqueued_at=ticket.submitted_at,
+                            trace_ctx=tx.trace_ctx or obs.current_context(),
+                            flow_id=flow_id)
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
         with self._cond:
@@ -302,15 +403,26 @@ class Server:
 
     def _execute(self, kind, batch, reason):
         reg = obs.registry()
+        lane = kind.value
         reg.inc("serve.requests", len(batch))
-        reg.inc(f"serve.{kind.value}.requests", len(batch))
+        reg.inc(f"serve.{lane}.requests", len(batch))
         reg.inc(f"serve.flushes.{reason}")
         reg.observe_value("serve.queue.depth", self._queues[kind].depth)
         reg.observe_value("serve.batch.occupancy", len(batch))
-        reg.observe_value(f"serve.{kind.value}.batch.occupancy", len(batch))
+        reg.observe_value(f"serve.{lane}.batch.occupancy", len(batch))
+        now = time.monotonic()
+        for p in batch:
+            reg.observe_value(f"serve.{lane}.stage.enqueue_ms",
+                              (now - p.enqueued_at) * 1e3)
         t0 = time.perf_counter()
-        with obs.span(f"serve:flush:{kind.value}", cat="serve",
+        with obs.span(f"serve:flush:{lane}", cat="serve",
                       batch=len(batch), reason=reason):
+            # Land the submit->flush arrows inside this slice so every
+            # client span connects to the word that served it.
+            for p in batch:
+                if p.flow_id is not None:
+                    obs.flow_finish(f"serve:tx:{lane}", p.flow_id,
+                                    cat="serve")
             try:
                 results = lane_engine(kind).execute(
                     [p.tx for p in batch])
@@ -318,12 +430,18 @@ class Server:
                 for p in batch:
                     p.ticket._resolve(error=exc)
                 return
-        reg.observe("serve.flush.wall", time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        reg.observe("serve.flush.wall", t1 - t0)
+        reg.observe_value(f"serve.{lane}.stage.flush_ms", (t1 - t0) * 1e3)
         for p, result in zip(batch, results):
             p.ticket._resolve(result=result)
             latency = p.ticket.latency_s
             if latency is not None:
                 reg.observe_value("serve.latency_ms", latency * 1e3)
+                reg.observe_value(f"serve.{lane}.latency_ms",
+                                  latency * 1e3)
+        reg.observe_value(f"serve.{lane}.stage.demux_ms",
+                          (time.perf_counter() - t1) * 1e3)
 
     # -- manual / draining control --------------------------------------
 

@@ -19,6 +19,13 @@ from repro.hdl.module import Module
 from repro.hdl.power.attribution import net_cells, net_stages
 from repro.hdl.power.monte_carlo import estimate_power
 from repro.obs.metrics import MAX_RECORDS_PER_NAME, MetricsRegistry
+from repro.obs.quantile import (
+    GAMMA,
+    QuantileSketch,
+    diff_bucket_dicts,
+    merge_bucket_dicts,
+    quantiles_from_aggregate,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -57,8 +64,10 @@ class TestMetricsRegistry:
         assert snap["schema"] == "repro.obs/1"
         assert snap["counters"]["c"] == 5
         assert snap["gauges"]["g"] == 7.5
-        assert snap["timers"]["t"] == {"count": 2, "total": 1.0,
-                                       "min": 0.25, "max": 0.75}
+        timer = snap["timers"]["t"]
+        assert {k: timer[k] for k in ("count", "total", "min", "max")} \
+            == {"count": 2, "total": 1.0, "min": 0.25, "max": 0.75}
+        assert sum(timer["buckets"].values()) == 2
         assert snap["histograms"]["h"]["count"] == 1
 
     def test_snapshot_is_json_serializable(self):
@@ -87,7 +96,9 @@ class TestMetricsRegistry:
         child.observe("t", 3.0)
         parent.merge(child.snapshot())
         agg = parent.snapshot()["timers"]["t"]
-        assert agg == {"count": 2, "total": 4.0, "min": 1.0, "max": 3.0}
+        assert {k: agg[k] for k in ("count", "total", "min", "max")} \
+            == {"count": 2, "total": 4.0, "min": 1.0, "max": 3.0}
+        assert sum(agg["buckets"].values()) == 2
 
     def test_merge_rejects_wrong_schema(self):
         reg = MetricsRegistry()
@@ -134,6 +145,115 @@ class TestMetricsRegistry:
 
 
 # ----------------------------------------------------------------------
+# quantile sketches
+# ----------------------------------------------------------------------
+
+class TestQuantileSketch:
+    def test_quantile_within_relative_error_bound(self):
+        sketch = QuantileSketch()
+        values = [1.5 ** (i % 23) + i * 0.01 for i in range(500)]
+        for v in values:
+            sketch.add(v)
+        exact = sorted(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            true = exact[round(q * (len(exact) - 1))]
+            est = sketch.quantile(q)
+            assert abs(est - true) / true <= (GAMMA - 1.0)
+
+    def test_merge_is_associative_and_commutative(self):
+        def make(samples):
+            s = QuantileSketch()
+            for v in samples:
+                s.add(v)
+            return s
+
+        sets = ([0.1, 2.0, 2.0, 300.0], [0.0, -1.0, 5.5],
+                [7.0, 0.002, 90000.0, 0.0])
+
+        def fold(order):
+            acc = QuantileSketch()
+            for i in order:
+                acc.merge(make(sets[i]))
+            return acc
+
+        reference = fold((0, 1, 2))
+        for order in ((2, 1, 0), (1, 0, 2), (0, 2, 1)):
+            other = fold(order)
+            assert other.buckets == reference.buckets
+            assert other.count == reference.count
+        # (a + b) + c == a + (b + c) on the raw bucket tables too.
+        left = merge_bucket_dicts(
+            merge_bucket_dicts(dict(make(sets[0]).buckets),
+                               make(sets[1]).buckets),
+            make(sets[2]).buckets)
+        bc = merge_bucket_dicts(dict(make(sets[1]).buckets),
+                                make(sets[2]).buckets)
+        right = merge_bucket_dicts(dict(make(sets[0]).buckets), bc)
+        assert left == right == reference.buckets
+
+    def test_merged_sketch_equals_single_stream(self):
+        stream = [0.01 * i + 0.5 for i in range(200)]
+        whole = QuantileSketch()
+        for v in stream:
+            whole.add(v)
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in stream[:77]:
+            a.add(v)
+        for v in stream[77:]:
+            b.add(v)
+        a.merge(b)
+        assert a.buckets == whole.buckets
+        assert a.quantile(0.95) == whole.quantile(0.95)
+
+    def test_diff_bucket_dicts_scopes_a_run(self):
+        before = QuantileSketch()
+        for v in (1.0, 2.0, 4.0):
+            before.add(v)
+        after = QuantileSketch.from_dict(before.to_dict())
+        run = [10.0, 20.0, 20.0]
+        for v in run:
+            after.add(v)
+        scoped = QuantileSketch.from_dict(
+            diff_bucket_dicts(after.to_dict(), before.to_dict()))
+        only_run = QuantileSketch()
+        for v in run:
+            only_run.add(v)
+        assert scoped.buckets == only_run.buckets
+        assert scoped.count == 3
+
+    def test_zero_and_negative_pseudo_buckets(self):
+        sketch = QuantileSketch()
+        for v in (-1.0, 0.0, 0.0, 8.0):
+            sketch.add(v)
+        assert sketch.quantile(0.0, lo=-1.0) == -1.0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0, hi=8.0) \
+            == pytest.approx(8.0, rel=GAMMA - 1.0)
+
+    def test_registry_aggregate_roundtrips_through_json(self):
+        reg = MetricsRegistry()
+        for i in range(1, 101):
+            reg.observe_value("lat", float(i))
+        snap = json.loads(json.dumps(reg.snapshot()))
+        qs = quantiles_from_aggregate(snap["histograms"]["lat"])
+        assert set(qs) == {"p50", "p95", "p99"}
+        assert qs["p50"] == pytest.approx(50.0, rel=GAMMA - 1.0)
+        assert qs["p95"] == pytest.approx(95.0, rel=GAMMA - 1.0)
+        # min/max clamps keep the tail honest.
+        assert qs["p99"] <= 100.0
+
+    def test_merged_registries_answer_quantiles(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        for i in range(50):
+            parent.observe("t", 0.001 * (i + 1))
+        for i in range(50):
+            child.observe("t", 0.001 * (i + 51))
+        parent.merge(child.snapshot())
+        qs = quantiles_from_aggregate(parent.snapshot()["timers"]["t"])
+        assert qs["p50"] == pytest.approx(0.050, rel=2 * (GAMMA - 1.0))
+
+
+# ----------------------------------------------------------------------
 # trace spans
 # ----------------------------------------------------------------------
 
@@ -150,7 +270,9 @@ class TestTrace:
         assert ev["name"] == "unit:test" and ev["ph"] == "X"
         assert ev["cat"] == "test"
         assert ev["dur"] >= 0 and ev["pid"] == os.getpid()
-        assert ev["args"] == {"detail": 7, "extra": "yes"}
+        assert ev["args"]["detail"] == 7 and ev["args"]["extra"] == "yes"
+        assert ev["args"]["span"]          # spans now carry identity
+        assert "parent" not in ev["args"]  # top-level span has no parent
 
     def test_spans_are_noops_when_disabled(self):
         assert not obs.is_tracing()
@@ -198,6 +320,93 @@ class TestTrace:
         obs.task_begin()
         assert "child.work" \
             not in obs.task_collect()["metrics"]["counters"]
+
+
+# ----------------------------------------------------------------------
+# stitched distributed traces
+# ----------------------------------------------------------------------
+
+def _assert_stitched(events):
+    """No orphan parents; every flow arrow resolves head-to-tail."""
+    spans = {ev["args"]["span"] for ev in events
+             if ev.get("ph") == "X" and "span" in ev.get("args", {})}
+    orphans = [ev["args"]["parent"] for ev in events
+               if ev.get("ph") == "X"
+               and ev.get("args", {}).get("parent") not in spans | {None}]
+    assert orphans == [], f"orphan parent span ids: {orphans}"
+    starts = sorted((ev["cat"], ev["name"], ev["id"])
+                    for ev in events if ev.get("ph") == "s")
+    ends = sorted((ev["cat"], ev["name"], ev["id"])
+                  for ev in events if ev.get("ph") == "f")
+    assert starts == ends, "unmatched flow arrows"
+    return spans
+
+
+def _tiny_graph(n=3):
+    from repro.eval.orchestrator import job
+
+    return [job(f"leaf{i}", "repro.eval.fault_injection:chunk_plan",
+                n_mutations=4 + i, seed=1, chunks=2) for i in range(n)]
+
+
+class TestTraceStitching:
+    @pytest.mark.parametrize("backend", ["fork", "workers"])
+    def test_worker_leaves_stitch_into_one_trace(self, backend):
+        from repro.eval.orchestrator import run_graph
+
+        obs.start_trace()
+        try:
+            run_graph(_tiny_graph(), workers=2, cache=None,
+                      backend=backend)
+        finally:
+            events = obs.stop_trace()
+        spans = _assert_stitched(events)
+        by_name = {}
+        for ev in events:
+            if ev.get("ph") == "X":
+                by_name.setdefault(ev["name"], []).append(ev)
+        assert "graph:run" in by_name
+        root = by_name["graph:run"][0]["args"]["span"]
+        leaves = [ev for name, evs in by_name.items()
+                  for ev in evs if name.startswith("leaf:leaf")]
+        assert len(leaves) == 3
+        for ev in leaves:
+            # Remote leaf spans adopt the coordinator's graph:run span.
+            assert ev["args"]["parent"] == root
+            assert ev["args"]["span"] in spans
+        # One flow arrow per dispatched leaf, coordinator -> worker.
+        flows = [ev for ev in events if ev.get("ph") == "s"]
+        assert {ev["name"] for ev in flows} \
+            == {"sched:leaf0", "sched:leaf1", "sched:leaf2"}
+
+    def test_serve_lane_flows_stitch(self):
+        from repro.serve.server import Server
+        from repro.serve.transactions import Transaction
+
+        obs.start_trace()
+        try:
+            server = Server(max_batch=8, max_wait=0.005)
+            tickets = [server.submit(Transaction.int64(i + 1, i + 3))
+                       for i in range(6)]
+            server.drain()
+            server.stop()
+            for t in tickets:
+                t.result(timeout=0)
+        finally:
+            events = obs.stop_trace()
+        _assert_stitched(events)
+        flows = [ev for ev in events if ev.get("ph") == "s"]
+        assert len(flows) == 6      # one client->flush arrow per submit
+        assert {ev["name"] for ev in flows} == {"serve:tx:int64"}
+        flushes = [ev for ev in events if ev.get("ph") == "X"
+                   and ev["name"] == "serve:flush:int64"]
+        assert flushes
+        flush_spans = {ev["args"]["span"] for ev in flushes}
+        runs = [ev for ev in events if ev.get("ph") == "X"
+                and ev["name"] == "serve:run:int64"]
+        assert runs
+        for ev in runs:             # engine work nests under its flush
+            assert ev["args"]["parent"] in flush_spans
 
 
 # ----------------------------------------------------------------------

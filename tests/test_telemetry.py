@@ -1,0 +1,358 @@
+"""Live telemetry: HTTP endpoints, exposition, sampler, perf gate.
+
+Exercises the observability tentpole end-to-end over real sockets: the
+Prometheus text exposition (format sanity plus quantile rows from the
+log-bucket sketches), the ``/metrics`` / ``/metrics.json`` /
+``/series.json`` / ``/healthz`` routes, the background gauge sampler's
+ring buffers, the serve-server integration (health checks plus per-lane
+latency summaries during a live burst), the loadgen SLO gate, and the
+``python -m repro perf`` record/check regression gate — including a
+demonstrable failure on an injected regression.
+"""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.eval import perf
+from repro.obs.http import (
+    TelemetryServer,
+    metric_name,
+    prometheus_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    obs.registry().reset()
+    obs.drain_events()
+    yield
+    obs.registry().reset()
+    obs.drain_events()
+
+
+def _get(url, timeout=10):
+    """(status, headers, body-str) — 4xx/5xx bodies included."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), \
+                resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+#: One exposition sample line: name, optional labels, and a float.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+    r"(NaN|[+-]Inf|[-+0-9.e]+)$")
+
+
+class TestExposition:
+    def test_metric_name_sanitizes_dots(self):
+        assert metric_name("serve.queue.depth.fp32x2") \
+            == "repro_serve_queue_depth_fp32x2"
+        assert metric_name("jobs", "_total") == "repro_jobs_total"
+
+    def test_counters_gauges_and_summaries(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs", 3)
+        reg.gauge("depth", 7.5)
+        for i in range(1, 101):
+            reg.observe_value("lat", float(i))
+        text = prometheus_exposition(reg.snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_jobs_total counter" in lines
+        assert "repro_jobs_total 3.0" in lines
+        assert "repro_depth 7.5" in lines
+        assert "repro_lat_count 100.0" in lines
+        quantile_rows = {}
+        for line in lines:
+            m = re.match(r'repro_lat\{quantile="([0-9.]+)"\} (\S+)', line)
+            if m:
+                quantile_rows[m.group(1)] = float(m.group(2))
+        assert set(quantile_rows) == {"0.5", "0.95", "0.99"}
+        assert quantile_rows["0.5"] == pytest.approx(50.0, rel=0.05)
+        assert quantile_rows["0.5"] <= quantile_rows["0.95"] \
+            <= quantile_rows["0.99"]
+
+    def test_every_sample_line_parses(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b.c")
+        reg.gauge("weird-name!x", float("inf"))
+        reg.observe("t", 0.01)
+        for line in prometheus_exposition(reg.snapshot()).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+
+
+# ----------------------------------------------------------------------
+# the HTTP endpoint
+# ----------------------------------------------------------------------
+
+class TestTelemetryServer:
+    def test_routes_and_content_types(self):
+        reg = obs.registry()
+        reg.inc("unit.requests", 2)
+        reg.observe_value("unit.lat", 5.0)
+        with TelemetryServer() as server:
+            status, headers, text = _get(server.url + "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            assert "repro_unit_requests_total 2.0" in text
+            assert 'repro_unit_lat{quantile="0.99"}' in text
+
+            status, headers, body = _get(server.url + "/metrics.json")
+            assert status == 200
+            snap = json.loads(body)
+            assert snap["schema"] == "repro.obs/1"
+            assert snap["counters"]["unit.requests"] == 2
+
+            status, __, body = _get(server.url + "/healthz")
+            assert status == 200 and json.loads(body)["ok"] is True
+
+            status, __, __ = _get(server.url + "/nope")
+            assert status == 404
+        # Scrapes themselves were counted.
+        assert reg.counter_value("telemetry.requests") == 4
+
+    def test_failing_health_check_returns_503(self):
+        with TelemetryServer() as server:
+            server.add_health_check("good", lambda: {"ok": True})
+            server.add_health_check("bad", lambda: {"ok": False, "n": 3})
+            status, __, body = _get(server.url + "/healthz")
+            assert status == 503
+            verdict = json.loads(body)
+            assert verdict["ok"] is False
+            assert verdict["checks"]["bad"] == {"ok": False, "n": 3}
+            assert verdict["checks"]["good"]["ok"] is True
+
+    def test_raising_health_check_is_a_failure_not_a_crash(self):
+        with TelemetryServer() as server:
+            server.add_health_check(
+                "boom", lambda: (_ for _ in ()).throw(RuntimeError("x")))
+            status, __, body = _get(server.url + "/healthz")
+            assert status == 503
+            assert "RuntimeError" in json.loads(body)["checks"]["boom"]["error"]
+
+    def test_series_endpoint_serves_sampler_rings(self):
+        sam = TimeSeriesSampler(interval_s=0.01)
+        sam.add_source("unit.level", lambda: 4.5)
+        sam.sample_once(now=1.0)
+        sam.sample_once(now=2.0)
+        with TelemetryServer(sampler=sam) as server:
+            status, __, body = _get(server.url + "/series.json")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["schema"] == "repro.obs.series/1"
+        assert [v for __, v in doc["series"]["unit.level"]] == [4.5, 4.5]
+
+
+# ----------------------------------------------------------------------
+# background sampler
+# ----------------------------------------------------------------------
+
+class TestSampler:
+    def test_sample_once_fills_ring_and_mirrors_gauge(self):
+        reg = MetricsRegistry()
+        sam = TimeSeriesSampler(interval_s=0.01, capacity=3, registry=reg)
+        sam.add_source("q", lambda: 2.0)
+        for t in range(5):
+            sam.sample_once(now=float(t))
+        series = sam.series()["series"]["q"]
+        assert len(series) == 3                # ring capacity
+        assert [t for t, __ in series] == [2.0, 3.0, 4.0]
+        assert reg.gauge_value("q") == 2.0
+
+    def test_none_skips_and_errors_count(self):
+        reg = MetricsRegistry()
+        sam = TimeSeriesSampler(interval_s=0.01, registry=reg)
+        sam.add_source("sometimes", lambda: None)
+        sam.add_source("broken", lambda: 1 / 0)
+        sam.sample_once(now=1.0)
+        series = sam.series()["series"]
+        assert series["sometimes"] == []
+        assert reg.counter_value("sampler.errors") == 1
+
+    def test_background_thread_ticks(self):
+        import time
+
+        sam = TimeSeriesSampler(interval_s=0.005)
+        sam.add_source("x", lambda: 1.0)
+        with sam:
+            deadline = time.monotonic() + 5.0
+            while not sam.series()["series"]["x"]:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+        assert not sam.running
+
+
+# ----------------------------------------------------------------------
+# live burst: serve.Server + telemetry + loadgen SLO
+# ----------------------------------------------------------------------
+
+class TestServeTelemetry:
+    def test_loadgen_sketch_quantiles_and_live_scrape(self):
+        from repro.serve.loadgen import run_load
+
+        scraped = {}
+
+        def scrape(server):
+            assert server.telemetry is not None
+            # Force a sampler tick: a short burst can finish inside the
+            # sampling interval, and the queue-depth gauges only appear
+            # once the ring buffers have sampled the sources.
+            obs.sampler().sample_once()
+            __, __, scraped["metrics"] = \
+                _get(server.telemetry.url + "/metrics")
+            scraped["health"] = json.loads(
+                _get(server.telemetry.url + "/healthz")[2])
+
+        rec = run_load(requests=48, mix={"int64": 1.0}, burst_mean=8,
+                       telemetry_port=0, before_stop=scrape)
+        assert rec["mismatches"] == 0
+        assert rec["latency_quantile_source"] == "sketch"
+        lat = rec["latency_ms"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        # Scraped mid-flight: per-lane p99 and queue-depth series live.
+        assert 'repro_serve_int64_latency_ms{quantile="0.99"}' \
+            in scraped["metrics"]
+        assert "repro_serve_queue_depth_int64" in scraped["metrics"]
+        health = scraped["health"]
+        assert health["ok"] is True
+        assert health["checks"]["dispatcher"]["ok"] is True
+        assert "int64" in health["checks"]["lanes"]["ready"]
+
+    def test_loadgen_slo_gate_breach_exits_nonzero(self, capsys):
+        from repro.serve.loadgen import main
+
+        assert main(["--requests", "12", "--burst", "4",
+                     "--slo-p99-ms", "1e-6"]) == 2
+        assert "SLO BREACH" in capsys.readouterr().err
+
+    def test_loadgen_slo_gate_pass(self, capsys):
+        from repro.serve.loadgen import main
+
+        assert main(["--requests", "12", "--burst", "4",
+                     "--slo-p99-ms", "1e9"]) == 0
+        assert "SLO ok" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# perf-history store and regression gate
+# ----------------------------------------------------------------------
+
+def _write_bench(root, name, results):
+    doc = {"schema": "repro.bench/1", "bench": name, "results": results}
+    (root / f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+
+class TestPerfGate:
+    def test_record_then_check_passes(self, tmp_path):
+        hist = tmp_path / "history"
+        results = {"speedup": 30.0,
+                   "coalesced": {"requests_per_s": 1500.0}}
+        entry = perf.record("serve", results, history_dir=hist)
+        assert entry["schema"] == "repro.perf/1"
+        assert entry["metrics"] == {"speedup": 30.0,
+                                    "coalesced.requests_per_s": 1500.0}
+        verdicts = perf.check("serve", results, history_dir=hist)
+        assert all(v["ok"] for v in verdicts)
+        assert {v["status"] for v in verdicts} == {"ok"}
+
+    def test_injected_regression_fails(self, tmp_path):
+        hist = tmp_path / "history"
+        for speedup in (28.0, 30.0, 29.0, 31.0, 30.0):
+            perf.record("serve", {"speedup": speedup,
+                                  "coalesced": {"requests_per_s": 1000.0}},
+                        history_dir=hist)
+        # Structural regression: 30x -> 10x is far beyond rel_tol=0.30.
+        verdicts = perf.check(
+            "serve", {"speedup": 10.0,
+                      "coalesced": {"requests_per_s": 1000.0}},
+            history_dir=hist)
+        by_metric = {v["metric"]: v for v in verdicts}
+        assert by_metric["speedup"]["status"] == "regressed"
+        assert by_metric["speedup"]["ok"] is False
+        assert by_metric["coalesced.requests_per_s"]["status"] == "ok"
+
+    def test_missing_metric_fails_when_baselined(self, tmp_path):
+        hist = tmp_path / "history"
+        perf.record("fault_sim", {"per_mutation_speedup": 50.0},
+                    history_dir=hist)
+        verdicts = perf.check("fault_sim", {"something_else": 1},
+                              history_dir=hist)
+        assert verdicts[0]["status"] == "missing"
+        assert verdicts[0]["ok"] is False
+
+    def test_no_history_is_not_a_failure(self, tmp_path):
+        verdicts = perf.check("serve", {"speedup": 5.0},
+                              history_dir=tmp_path / "empty")
+        assert all(v["status"] == "no-baseline" and v["ok"]
+                   for v in verdicts)
+
+    def test_lower_is_better_direction(self, tmp_path):
+        hist = tmp_path / "history"
+        legs = {"legs": {"metrics": {"overhead_vs_disabled": 0.01},
+                         "trace": {"overhead_vs_disabled": 0.05}}}
+        perf.record("obs_overhead", legs, history_dir=hist)
+        # Within tolerance: 2x the baseline but under the abs floor.
+        ok = perf.check("obs_overhead",
+                        {"legs": {"metrics": {"overhead_vs_disabled": 0.025},
+                                  "trace": {"overhead_vs_disabled": 0.06}}},
+                        history_dir=hist)
+        assert all(v["ok"] for v in ok)
+        # Way past rel_tol + abs_floor: fails.
+        bad = perf.check("obs_overhead",
+                         {"legs": {"metrics": {"overhead_vs_disabled": 0.30},
+                                   "trace": {"overhead_vs_disabled": 0.06}}},
+                         history_dir=hist)
+        assert any(v["status"] == "regressed" for v in bad)
+
+    def test_cli_check_fails_on_injected_regression(self, tmp_path,
+                                                    capsys):
+        hist = tmp_path / "history"
+        root = tmp_path
+        for speedup in (30.0, 29.0, 31.0):
+            perf.record("serve", {"speedup": speedup,
+                                  "coalesced": {"requests_per_s": 900.0}},
+                        history_dir=hist)
+        _write_bench(root, "serve",
+                     {"speedup": 30.5,
+                      "coalesced": {"requests_per_s": 910.0}})
+        assert perf.main(["check", "serve", "--root", str(root),
+                          "--history", str(hist)]) == 0
+        _write_bench(root, "serve",
+                     {"speedup": 9.0,
+                      "coalesced": {"requests_per_s": 905.0}})
+        assert perf.main(["check", "serve", "--root", str(root),
+                          "--history", str(hist)]) == 1
+        assert "perf gate FAILED" in capsys.readouterr().err
+
+    def test_cli_record_appends_jsonl(self, tmp_path, capsys):
+        hist = tmp_path / "history"
+        _write_bench(tmp_path, "fault_sim", {"per_mutation_speedup": 44.0})
+        assert perf.main(["record", "fault_sim", "--root", str(tmp_path),
+                          "--history", str(hist)]) == 0
+        lines = (hist / "fault_sim.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["bench"] == "fault_sim"
+        assert entry["metrics"]["per_mutation_speedup"] == 44.0
+
+    def test_legacy_flat_bench_files_still_load(self, tmp_path):
+        (tmp_path / "BENCH_serve.json").write_text(
+            json.dumps({"speedup": 25.0}))
+        results = perf.load_results("serve", tmp_path)
+        assert results == {"speedup": 25.0}
+        assert perf.extract_metrics("serve", results) == {"speedup": 25.0}
