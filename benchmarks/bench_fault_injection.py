@@ -25,8 +25,12 @@ import time
 
 from _bench_io import write_bench
 
+from repro import obs
 from repro.eval.fault_injection import (
     campaign_battery,
+    chunk_plan,
+    clear_campaign_cache,
+    experiment_fault_coverage,
     mutation_coverage,
     propose_mutation,
 )
@@ -38,6 +42,15 @@ from repro.hdl.sim.differential import DifferentialEngine
 #: Mutations for the head-to-head race — the full path re-simulates the
 #: whole radix-16 datapath per mutation, so this is the slow side.
 N_RACE = int(os.environ.get("REPRO_FAULT_BENCH_MUTATIONS", "20"))
+
+#: Wide-battery superword (ISSUE 9): the whole campaign battery packs
+#: into one W x 64-pattern golden word instead of 64-pattern chunks.
+BATTERY_PATTERNS = int(os.environ.get("REPRO_FAULT_BENCH_BATTERY", "256"))
+
+#: Gate: chunked campaigns must share golden runs — at least this many
+#: fewer golden kernel invocations than chunks.
+MIN_INVOCATION_REDUCTION = float(
+    os.environ.get("REPRO_FAULT_BENCH_MIN_REDUCTION", "3.0"))
 
 
 def test_bench_mutation_coverage_multiplier(benchmark, report_sink):
@@ -98,6 +111,33 @@ def test_bench_fault_sim_race(report_sink):
     mutants_s = time.perf_counter() - t0
 
     per_mutation_speedup = (full_s / N_RACE) / (mutants_s / N_RACE)
+
+    # Wide-battery superword campaign with shared golden state: the
+    # whole battery (BATTERY_PATTERNS cases) runs as ONE golden kernel
+    # invocation, reused by every chunk of the campaign.  The
+    # ``fault.golden_runs`` counter proves the reduction the gate
+    # demands; the full-mode race proves the verdicts are unchanged.
+    clear_campaign_cache()
+    reg = obs.registry()
+    golden_before = reg.counter_value("fault.golden_runs") or 0
+    wide = experiment_fault_coverage(
+        "r16", n_mutations=40, seed=seed,
+        battery_patterns=BATTERY_PATTERNS)
+    golden_runs = (reg.counter_value("fault.golden_runs") or 0) \
+        - golden_before
+    chunks = len(chunk_plan(40, seed, None))
+    invocation_reduction = chunks / golden_runs if golden_runs \
+        else float("inf")
+    wide_full = experiment_fault_coverage(
+        "r16", n_mutations=8, seed=seed, mode="full",
+        battery_patterns=BATTERY_PATTERNS)
+    wide_diff = experiment_fault_coverage(
+        "r16", n_mutations=8, seed=seed,
+        battery_patterns=BATTERY_PATTERNS)
+    assert (wide_full.attempted, wide_full.detected) \
+        == (wide_diff.attempted, wide_diff.detected), \
+        "wide-battery differential diverged from full re-simulation"
+
     report = {
         "design": "r16",
         "mutations": N_RACE,
@@ -114,9 +154,18 @@ def test_bench_fault_sim_race(report_sink):
         "early_exit_rate": round(sum(1 for v in verdicts if v.early_exit)
                                  / len(verdicts), 3),
         "detected": diff.detected,
+        "battery_patterns": BATTERY_PATTERNS,
+        "campaign_chunks": chunks,
+        "golden_runs": golden_runs,
+        "kernel_invocation_reduction": round(invocation_reduction, 2),
+        "wide_coverage": round(wide.coverage, 3),
         "cpu_count": os.cpu_count(),
     }
     write_bench("fault_sim", report, seed=seed)
     report_sink("fault_sim_race",
                 "\n".join(f"{k:>24}: {v}" for k, v in report.items()))
     assert per_mutation_speedup >= 5.0
+    assert invocation_reduction >= MIN_INVOCATION_REDUCTION, (
+        f"golden-run sharing: {golden_runs} golden kernel invocations "
+        f"for {chunks} chunks ({invocation_reduction:.1f}x < "
+        f"{MIN_INVOCATION_REDUCTION}x gate)")

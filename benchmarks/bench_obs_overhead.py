@@ -17,6 +17,13 @@ and writes ``BENCH_obs_overhead.json`` (``repro.bench/1`` envelope) at
 the repository root.  The gate: metrics-plus-sampler overhead must stay
 under 5% of the disabled floor.  Tracing overhead is recorded honestly
 but not gated — it is opt-in.
+
+A second subject times the serve hot path with **wide words live**: a
+``WIDE_PATTERNS``-transaction superword through the int64 lane engine
+(spans, counters and occupancy histograms firing per word).  Costs are
+normalized **per pattern**, not per word — a wide word amortizes its
+instrumentation over W x 64 patterns, and gating per-word numbers
+would let per-pattern overhead grow W-fold unnoticed.  Same <5% gate.
 """
 
 import json
@@ -35,6 +42,9 @@ from repro.hdl.sim.levelized import LevelizedSimulator
 N_CYCLES = int(os.environ.get("REPRO_OBS_BENCH_CYCLES", "10"))
 ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "5"))
 MAX_METRICS_OVERHEAD = 0.05
+
+#: Wide-word serve subject: patterns per superword (W = /64 limbs).
+WIDE_PATTERNS = int(os.environ.get("REPRO_OBS_BENCH_WIDE", "256"))
 
 
 def _best_of(fn, rounds):
@@ -64,6 +74,23 @@ def test_bench_obs_overhead(report_sink):
         totals, __ = _event_toggles(module, lib, run, N_CYCLES)
         return totals
 
+    # Wide-word serve subject: one W x 64-pattern superword through the
+    # int64 lane engine — the serve hot path with its spans/histograms.
+    import random as _random
+
+    from repro.serve.engine import lane_engine
+    from repro.serve.transactions import Transaction, TxKind
+
+    _rng = _random.Random(2017)
+    wide_txs = [Transaction.int64(_rng.getrandbits(64),
+                                  _rng.getrandbits(64))
+                for __ in range(WIDE_PATTERNS)]
+    engine = lane_engine(TxKind.INT64)
+    engine.execute(wide_txs[:64])          # warm outside the clocks
+
+    def wide_serve():
+        return [(r.ph, r.pl) for r in engine.execute(wide_txs)]
+
     reg = obs.registry()
     # The "metrics" leg pays for everything the live-telemetry default
     # costs: sketch bucketing on every observation plus the background
@@ -73,13 +100,16 @@ def test_bench_obs_overhead(report_sink):
     sampler.add_source("bench.registry.mean",
                        lambda: (reg.counter_value("sampler.ticks") or None))
     legs = {}
+    wide_legs = {}
     try:
         reg.set_enabled(False)
         legs["disabled"] = _best_of(replay, ROUNDS)
+        wide_legs["disabled"] = _best_of(wide_serve, ROUNDS)
         reg.set_enabled(True)
         reg.reset()
         sampler.start()
         legs["metrics"] = _best_of(replay, ROUNDS)
+        wide_legs["metrics"] = _best_of(wide_serve, ROUNDS)
         obs.start_trace()
         legs["trace"] = _best_of(replay, ROUNDS)
     finally:
@@ -91,12 +121,25 @@ def test_bench_obs_overhead(report_sink):
     base_s, base_totals = legs["disabled"]
     for name, (__, totals) in legs.items():
         assert totals == base_totals, f"{name}: toggles diverged"
+    wide_base_s, wide_base_results = wide_legs["disabled"]
+    for name, (__, results) in wide_legs.items():
+        assert results == wide_base_results, \
+            f"wide serve {name}: results diverged"
 
     def leg_entry(seconds):
         return {
             "seconds": seconds,
             "ms_per_transition": seconds * 1000 / transitions,
             "overhead_vs_disabled": seconds / base_s - 1.0,
+        }
+
+    def wide_entry(seconds):
+        # Per-PATTERN normalization: a superword must not hide (or be
+        # blamed for) W x the instrumentation of a base word.
+        return {
+            "seconds": seconds,
+            "ms_per_pattern": seconds * 1000 / WIDE_PATTERNS,
+            "overhead_vs_disabled": seconds / wide_base_s - 1.0,
         }
 
     payload = {
@@ -109,7 +152,15 @@ def test_bench_obs_overhead(report_sink):
         "max_metrics_overhead": MAX_METRICS_OVERHEAD,
         "legs": {name: leg_entry(seconds)
                  for name, (seconds, __) in legs.items()},
+        "wide_serve": {
+            "word_patterns": WIDE_PATTERNS,
+            "limbs": WIDE_PATTERNS // 64,
+            "legs": {name: wide_entry(seconds)
+                     for name, (seconds, __) in wide_legs.items()},
+        },
     }
+    payload["wide_serve"]["overhead_vs_disabled"] = \
+        payload["wide_serve"]["legs"]["metrics"]["overhead_vs_disabled"]
     write_bench("obs_overhead", payload, seed=2017)
     report_sink("obs_overhead", json.dumps(payload, indent=2))
 
@@ -117,3 +168,8 @@ def test_bench_obs_overhead(report_sink):
     assert metrics_overhead < MAX_METRICS_OVERHEAD, (
         f"metrics instrumentation costs {metrics_overhead:.1%} on the "
         f"r16 glitch replay (gate: {MAX_METRICS_OVERHEAD:.0%})")
+    wide_overhead = payload["wide_serve"]["overhead_vs_disabled"]
+    assert wide_overhead < MAX_METRICS_OVERHEAD, (
+        f"metrics instrumentation costs {wide_overhead:.1%} per pattern "
+        f"on the W={WIDE_PATTERNS // 64} wide-word serve path "
+        f"(gate: {MAX_METRICS_OVERHEAD:.0%})")

@@ -9,6 +9,7 @@ Usage::
     python -m repro cache stats          # result-cache maintenance
     python -m repro perf record          # append BENCH_* to perf history
     python -m repro perf check           # gate vs the rolling baseline
+    python -m repro tune width           # measure + cache superword widths
 """
 
 import argparse
@@ -68,6 +69,11 @@ def main(argv=None):
         from repro.eval.perf import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "tune":
+        # Superword width auto-tuner: delegate to the tuner CLI.
+        from repro.eval.tune import main as tune_main
+
+        return tune_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.targets and args.targets[0] == "export-verilog":

@@ -27,6 +27,7 @@ same comparisons; the legacy callable checkers remain as thin wrappers.
 """
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -266,7 +267,7 @@ def mf_battery(operations):
 # ----------------------------------------------------------------------
 
 def mutation_coverage(module, checker=None, n_mutations=40, seed=2017,
-                      mode="full", battery=None):
+                      mode="full", battery=None, engine=None):
     """Run a campaign: mutate, check, count detections.
 
     ``mode="full"`` clones and fully re-simulates per mutation;
@@ -281,6 +282,13 @@ def mutation_coverage(module, checker=None, n_mutations=40, seed=2017,
     the degenerate case where the golden module itself fails its
     battery, the campaign silently falls back to full mode (where every
     mutant fails too), so the modes never diverge.
+
+    A prebuilt ``engine`` (see :func:`campaign_engine`) skips the
+    golden run entirely: campaigns chunked over the same module and
+    battery then pay **one** golden kernel invocation total instead of
+    one per chunk — the engine is a pure cache of golden state, so
+    verdicts are unchanged.  The caller must have verified the golden
+    run against the battery (``campaign_engine`` does).
     """
     if mode not in ("full", "differential"):
         raise SimulationError(f"unknown campaign mode {mode!r}")
@@ -288,8 +296,9 @@ def mutation_coverage(module, checker=None, n_mutations=40, seed=2017,
     arities = [cell_num_inputs(gate.kind) for gate in module.gates]
     reg = obs.registry()
 
-    engine = None
-    if mode == "differential":
+    if mode != "differential":
+        engine = None
+    elif engine is None:
         if battery is None:
             raise SimulationError("differential mode needs a battery")
         from repro.hdl.sim.differential import DifferentialEngine
@@ -382,33 +391,114 @@ def mf_operations(n=12, case_seed=2):
     return ops
 
 
-def campaign_battery(which, module):
-    """The standard seeded battery for campaign target ``which``."""
+def campaign_battery(which, module, patterns=None):
+    """The standard seeded battery for campaign target ``which``.
+
+    ``patterns`` widens the battery beyond its historic default (16
+    cases for ``r16``, 12 operations for ``mf``): the whole battery
+    still packs into **one** superword, so a wider battery costs one
+    golden kernel invocation regardless of width.  ``None`` keeps the
+    historic seeds and sizes bit-for-bit.
+    """
     if which == "r16":
-        return multiplier_battery(module, r16_cases())
+        cases = r16_cases() if patterns is None else r16_cases(n=patterns)
+        return multiplier_battery(module, cases)
     if which == "mf":
-        return mf_battery(mf_operations())
+        ops = mf_operations() if patterns is None \
+            else mf_operations(n=patterns)
+        return mf_battery(ops)
     raise ValueError(f"unknown campaign target {which!r}")
 
 
+def _campaign_module(which):
+    from repro.eval.experiments import cached_module
+
+    if which not in ("r16", "mf"):
+        raise ValueError(f"unknown campaign target {which!r}")
+    return cached_module(which)
+
+
+#: Shared golden state per (target, battery width): the golden run is
+#: read-only once simulated, so every chunk of a campaign reuses it —
+#: one golden kernel invocation per campaign instead of one per chunk.
+#: Engines are additionally keyed by thread because ``run_mutant``
+#: scribbles on a private overlay list.
+_CAMPAIGN_LOCK = threading.Lock()
+_CAMPAIGN_GOLDEN: Dict[tuple, tuple] = {}
+_CAMPAIGN_ENGINES: Dict[tuple, object] = {}
+
+
+def clear_campaign_cache():
+    """Drop shared golden runs/engines (benchmark cost accounting)."""
+    with _CAMPAIGN_LOCK:
+        _CAMPAIGN_GOLDEN.clear()
+        _CAMPAIGN_ENGINES.clear()
+
+
+def campaign_engine(which, battery_patterns=None):
+    """Shared differential state for one ``(target, battery width)``.
+
+    Returns ``(module, battery, engine)``; ``engine`` is ``None`` when
+    the golden run fails its own battery (callers fall back to full
+    mode, where every mutant fails too — the modes never diverge).  The
+    golden bit-parallel run is simulated once per key and cached; the
+    per-thread :class:`~repro.hdl.sim.differential.DifferentialEngine`
+    wrappers around it cost only the fan-out precomputation.
+    """
+    from repro.hdl.sim.differential import DifferentialEngine
+
+    module = _campaign_module(which)
+    key = (which, battery_patterns)
+    with _CAMPAIGN_LOCK:
+        entry = _CAMPAIGN_GOLDEN.get(key)
+        if entry is None:
+            battery = campaign_battery(which, module,
+                                       patterns=battery_patterns)
+            engine = DifferentialEngine(module, battery.stimulus,
+                                        battery.n_patterns,
+                                        battery.observation(module))
+            if battery.check_run(module, engine.golden):
+                entry = (battery, engine.golden)
+                _CAMPAIGN_ENGINES[(key, threading.get_ident())] = engine
+            else:
+                obs.registry().inc("fault.golden_mismatch")
+                entry = (battery, None)
+            _CAMPAIGN_GOLDEN[key] = entry
+        battery, golden = entry
+        if golden is None:
+            return module, battery, None
+        tkey = (key, threading.get_ident())
+        engine = _CAMPAIGN_ENGINES.get(tkey)
+        if engine is None:
+            engine = DifferentialEngine(module, battery.stimulus,
+                                        battery.n_patterns,
+                                        battery.observation(module),
+                                        golden=golden)
+            _CAMPAIGN_ENGINES[tkey] = engine
+    return module, battery, engine
+
+
 def coverage_chunk(which="r16", n_mutations=10, seed=7,
-                   mode="differential"):
+                   mode="differential", battery_patterns=None):
     """One campaign shard — a parallelizable leaf job.
 
     Builds the target module and its co-simulation battery from fixed
     case seeds, then runs ``n_mutations`` mutations drawn from ``seed``
-    in the requested ``mode`` (the golden simulation and the fan-out
-    precomputation are shared across the whole chunk).
+    in the requested ``mode``.  Differential chunks share one cached
+    golden run per ``(which, battery_patterns)`` via
+    :func:`campaign_engine`, so a whole campaign pays a single golden
+    kernel invocation however it is chunked; ``battery_patterns``
+    widens the battery superword (default: historic sizes).
     """
-    from repro.eval.experiments import cached_module
-
-    if which == "r16":
-        module = cached_module("r16")
-    elif which == "mf":
-        module = cached_module("mf")
-    else:
-        raise ValueError(f"unknown campaign target {which!r}")
-    battery = campaign_battery(which, module)
+    if mode == "differential":
+        module, battery, engine = campaign_engine(which, battery_patterns)
+        if engine is None:
+            mode = "full"
+        return mutation_coverage(module, n_mutations=n_mutations,
+                                 seed=seed, mode=mode, battery=battery,
+                                 engine=engine)
+    module = _campaign_module(which)
+    battery = campaign_battery(which, module, patterns=battery_patterns)
     return mutation_coverage(module, n_mutations=n_mutations, seed=seed,
                              mode=mode, battery=battery)
 
@@ -447,17 +537,21 @@ def merge_coverage(results):
 
 
 def experiment_fault_coverage(which="r16", n_mutations=40, seed=7,
-                              chunks=None, mode="differential"):
+                              chunks=None, mode="differential",
+                              battery_patterns=None):
     """Mutation coverage of the co-simulation battery for ``which``.
 
     The campaign is split into independently seeded shards (see
     :func:`chunk_plan`; ``chunks=None`` auto-sizes them); running them
     serially here or in parallel through the orchestrator yields the
-    same merged result, as does either campaign ``mode``.
+    same merged result, as does either campaign ``mode``.  All shards
+    share one golden run (one kernel invocation per campaign);
+    ``battery_patterns`` runs the campaign over a wider battery
+    superword.
     """
     return merge_coverage(
         [coverage_chunk(which=which, n_mutations=size, seed=chunk_seed,
-                        mode=mode)
+                        mode=mode, battery_patterns=battery_patterns)
          for chunk_seed, size in chunk_plan(n_mutations, seed, chunks)])
 
 

@@ -133,6 +133,62 @@ def estimate_power(module, library, stimulus, n_cycles, frequency_mhz=100.0,
                             attribution)
 
 
+def estimate_power_batch(module, library, jobs, frequency_mhz=100.0,
+                         glitch=True, attribution=False):
+    """Estimate power for several independent stimulus sequences on one
+    module in a single superword settle pass.
+
+    ``jobs`` is a sequence of ``(stimulus, n_cycles)`` pairs.  The
+    levelized simulation — whose per-gate interpreter overhead dominates
+    a Monte Carlo point — runs **once** over the concatenated segments
+    (:meth:`~repro.hdl.sim.levelized.LevelizedSimulator.run_segments`);
+    per-job zero-delay toggles are windowed popcounts over the shared
+    words and the glitch replay seeds each job's cycle window straight
+    from them.  Returns one :class:`PowerReport` per job, each
+    **bit-identical** to a serial :func:`estimate_power` call over the
+    same stimulus (property-tested).
+    """
+    jobs = list(jobs)
+    for __, n_cycles in jobs:
+        if n_cycles < 2:
+            raise SimulationError(
+                "need at least two cycles to measure power")
+    t_level = time.perf_counter()
+    with obs.span("power:levelized", cat="power", module=module.name,
+                  cycles=sum(n for __, n in jobs), segments=len(jobs)):
+        sim = LevelizedSimulator(module)
+        seg = sim.run_segments(jobs)
+    t_level = time.perf_counter() - t_level
+
+    energies = net_toggle_energies(module, library)
+    owner = module.block_of_net()
+    esim = shared_event_simulator(module, library) if glitch else None
+
+    reports = []
+    for i, (__, n_cycles) in enumerate(jobs):
+        zero_toggles = seg.toggles_per_net(i)
+        zero_energy = sum(t * e for t, e in zip(zero_toggles, energies))
+        offset = seg.segments[i][0]
+        if glitch:
+            with obs.span("power:glitch_replay", cat="power",
+                          module=module.name, workers=1):
+                t0 = time.perf_counter()
+                event_toggles, sim_stats = _replay(
+                    esim, seg.values, offset + 1, offset + n_cycles - 1)
+                sim_stats["workers"] = 1
+                sim_stats["elapsed_s"] = time.perf_counter() - t0
+        else:
+            event_toggles = zero_toggles
+            sim_stats = {"engine": "zero-delay", "kernel": "none",
+                         "transitions": n_cycles - 1, "workers": 1,
+                         "elapsed_s": t_level}
+        reports.append(_assemble_report(
+            module, library, n_cycles, zero_toggles, event_toggles,
+            sim_stats, energies, owner, zero_energy, t_level,
+            frequency_mhz, glitch, attribution))
+    return reports
+
+
 def _assemble_report(module, library, n_cycles, zero_toggles,
                      event_toggles, sim_stats, energies, owner,
                      zero_energy, t_level, frequency_mhz, glitch,

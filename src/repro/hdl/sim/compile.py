@@ -85,13 +85,18 @@ def gate_expr(gate, mask_name="M"):
 
 
 def _compile_chunks(statements, tag):
-    """Exec chunks of statements as ``def _k(v, M)`` functions."""
+    """Exec chunks of statements as ``def _k(v, M, R)`` functions.
+
+    ``M`` is the all-patterns mask; ``R`` is the register shift mask
+    (``M`` for a plain run, ``M & ~segment_starts`` for a segmented
+    superword run — see :meth:`CompiledModule.run_levelized`).
+    """
     fns = []
     with obs.span("compile:kernel", cat="compile", tag=tag,
                   statements=len(statements)):
         for start in range(0, len(statements), CHUNK_STATEMENTS):
             body = statements[start:start + CHUNK_STATEMENTS] or ["pass"]
-            src = "def _k(v, M):\n    " + "\n    ".join(body)
+            src = "def _k(v, M, R):\n    " + "\n    ".join(body)
             namespace = {}
             code = compile(src, f"<repro.hdl.sim.compile:{tag}:{start}>",
                            "exec")
@@ -157,14 +162,23 @@ class CompiledModule:
     _masked_eval_factories: Optional[List[Callable]] = field(repr=False,
                                                              default=None)
 
-    def run_levelized(self, values, m):
-        """Evaluate every gate and register time-shift, bit-parallel."""
+    def run_levelized(self, values, m, reg_mask=None):
+        """Evaluate every gate and register time-shift, bit-parallel.
+
+        ``reg_mask`` (default: ``m``) masks the register time shifts —
+        a segmented superword run passes ``m & ~segment_start_bits`` so
+        each segment's first pattern sees a cleared flip-flop bank,
+        which is exactly what makes concatenated independent stimulus
+        sequences bit-identical to separate runs.
+        """
         fns = self._level_fns
         if fns is None:
             fns = self._level_fns = _compile_chunks(
                 self._level_stmts, f"{self._tag}:levelized")
+        if reg_mask is None:
+            reg_mask = m
         for fn in fns:
-            fn(values, m)
+            fn(values, m, reg_mask)
 
     def settle(self, values):
         """Zero-delay scalar settle of the combinational gates."""
@@ -173,7 +187,7 @@ class CompiledModule:
             fns = self._settle_fns = _compile_chunks(
                 self._settle_stmts, f"{self._tag}:settle")
         for fn in fns:
-            fn(values, 1)
+            fn(values, 1, 1)
 
     def make_gate_evals(self, values):
         """Per-gate re-evaluation closures over ``values``.
@@ -241,7 +255,7 @@ def _compile_module(module):
             level_stmts.append(f"v[{gate.output}] = {gate_expr(gate)}")
         else:
             reg = registers[-node - 1]
-            level_stmts.append(f"v[{reg.q}] = (v[{reg.d}] << 1) & M")
+            level_stmts.append(f"v[{reg.q}] = (v[{reg.d}] << 1) & R")
     settle_stmts = [f"v[{gates[idx].output}] = {gate_expr(gates[idx])}"
                     for idx in gate_order]
 

@@ -24,7 +24,7 @@ Both produce bit-identical values.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.bits.utils import mask, popcount
 from repro.errors import SimulationError
@@ -33,6 +33,7 @@ from repro.hdl.sim.compile import compiled_module
 from repro.hdl.sim.toposort import topo_node_order
 
 _M64 = (1 << 64) - 1
+_Z8 = bytes(8)
 
 
 def _delta_swap_masks():
@@ -65,35 +66,73 @@ def bit_transpose(rows, width):
     64x64 blocks: each block is packed into one 4096-bit int, transposed
     with six masked delta-swaps, and unpacked straight out of its byte
     image — O(cells/64) word operations instead of one Python-level
-    shift/or per bit, which is what makes 64-pattern stimulus packing
-    and result demux cheap relative to the gate-evaluation kernel.
+    shift/or per bit.
+
+    Both matrix sides are multi-limb: a wide row is converted to its
+    byte image **once** and each 64x64 block slices an 8-byte limb out
+    of it; output columns spanning several row blocks accumulate into
+    per-column byte buffers materialized with one ``int.from_bytes`` at
+    the end.  Packing therefore stays linear in the total bit count at
+    W×64-pattern superword widths, where the historic per-block big-int
+    ``>> cbase`` / ``|= << rbase`` arithmetic went quadratic.
     """
     cols = [0] * width
-    for rbase in range(0, len(rows), 64):
+    n_rows = len(rows)
+    if not n_rows or not width:
+        return cols
+    n_cblocks = (width + 63) >> 6
+    span_bytes = n_cblocks << 3
+    span_mask = (1 << (n_cblocks << 6)) - 1
+    single_rblock = n_rows <= 64
+    col_bytes = ((n_rows + 63) >> 6) << 3
+    acc = None if single_rblock else [None] * width
+    for rbase in range(0, n_rows, 64):
         rchunk = rows[rbase:rbase + 64]
-        for cbase in range(0, width, 64):
-            if cbase:
-                block = [(r >> cbase) & _M64 for r in rchunk]
-            else:
-                block = [r & _M64 for r in rchunk]
-            m = int.from_bytes(
-                b"".join(w.to_bytes(8, "little") for w in block), "little")
+        if n_cblocks == 1:
+            blk = bytearray(512)
+            for j, r in enumerate(rchunk):
+                if r:
+                    blk[8 * j:8 * j + 8] = (r & _M64).to_bytes(8, "little")
+            blocks = (bytes(blk),)
+        else:
+            images = [(r & span_mask).to_bytes(span_bytes, "little")
+                      if r else None for r in rchunk]
+            blocks = []
+            for cb in range(n_cblocks):
+                off = cb << 3
+                blk = bytearray(512)
+                for j, img in enumerate(images):
+                    if img is not None:
+                        blk[8 * j:8 * j + 8] = img[off:off + 8]
+                blocks.append(bytes(blk))
+        for cb, raw in enumerate(blocks):
+            m = int.from_bytes(raw, "little")
             if not m:
                 continue
             for delta, mk in _DELTA_MASKS:
                 t = ((m >> delta) ^ m) & mk
                 m ^= t ^ (t << delta)
             image = m.to_bytes(512, "little")
+            cbase = cb << 6
             hi = min(64, width - cbase)
-            if rbase:
+            if single_rblock:
                 for i in range(hi):
-                    w = int.from_bytes(image[8 * i:8 * i + 8], "little")
-                    if w:
-                        cols[cbase + i] |= w << rbase
+                    chunk = image[8 * i:8 * i + 8]
+                    if chunk != _Z8:
+                        cols[cbase + i] = int.from_bytes(chunk, "little")
             else:
+                rshift = rbase >> 3
                 for i in range(hi):
-                    cols[cbase + i] = int.from_bytes(
-                        image[8 * i:8 * i + 8], "little")
+                    chunk = image[8 * i:8 * i + 8]
+                    if chunk != _Z8:
+                        buf = acc[cbase + i]
+                        if buf is None:
+                            buf = acc[cbase + i] = bytearray(col_bytes)
+                        buf[rshift:rshift + 8] = chunk
+    if not single_rblock:
+        for c, buf in enumerate(acc):
+            if buf is not None:
+                cols[c] = int.from_bytes(buf, "little")
     return cols
 
 
@@ -132,6 +171,70 @@ class SimRun:
         return [popcount((v ^ (v >> 1)) & m) for v in self.values]
 
 
+@dataclass
+class SegmentedRun:
+    """Result of one superword run over concatenated independent segments.
+
+    ``values`` are ordinary packed pattern words covering every segment
+    back to back; ``segments[i]`` is segment ``i``'s ``(offset,
+    n_patterns)`` window.  Because the register shifts were masked at
+    each segment's first pattern, bits ``offset .. offset+n-1`` of every
+    net are **bit-identical** to an independent
+    :meth:`LevelizedSimulator.run` over that segment alone — consumers
+    may therefore window straight into the shared words (toggle counts,
+    glitch-replay seeding) without extracting per-segment copies.
+    """
+
+    segments: List[Tuple[int, int]]      # (offset, n_patterns) per segment
+    values: List[int]                    # per net: packed pattern words
+
+    @property
+    def n_patterns(self):
+        """Total patterns across every segment (the superword width)."""
+        off, n = self.segments[-1]
+        return off + n
+
+    def segment_run(self, i):
+        """Segment ``i`` extracted as an independent :class:`SimRun`."""
+        off, n = self.segments[i]
+        m = mask(n)
+        return SimRun(n_patterns=n,
+                      values=[(v >> off) & m for v in self.values])
+
+    def toggles_per_net(self, i):
+        """Zero-delay toggles of every net *within* segment ``i``.
+
+        Equal to ``segment_run(i).toggles_per_net()`` without the
+        extraction: the transition window is just the segment's pattern
+        mask shifted to its offset.
+        """
+        off, n = self.segments[i]
+        m = (mask(n - 1) << off) if n > 1 else 0
+        return [popcount((v ^ (v >> 1)) & m) for v in self.values]
+
+
+def segment_plan(lengths):
+    """``(segments, total, boundary_bits)`` for concatenated runs.
+
+    ``segments`` are ``(offset, n_patterns)`` pairs, ``boundary_bits``
+    has a 1 at each segment's first pattern — the positions whose
+    register shift-in must be cleared so every segment starts from a
+    zeroed flip-flop bank, exactly like an independent run.
+    """
+    segments = []
+    boundary = 0
+    off = 0
+    for n in lengths:
+        if n < 1:
+            raise SimulationError("every segment needs at least one pattern")
+        segments.append((off, n))
+        boundary |= 1 << off
+        off += n
+    if not segments:
+        raise SimulationError("need at least one segment")
+    return segments, off, boundary
+
+
 class LevelizedSimulator:
     """Topologically ordered bit-parallel evaluator for one module."""
 
@@ -168,10 +271,56 @@ class LevelizedSimulator:
             self._run_interpreted(values, m)
         return SimRun(n_patterns=n_patterns, values=values)
 
-    def _run_interpreted(self, values, m):
+    def run_segments(self, jobs):
+        """Simulate several independent stimulus sequences in ONE kernel
+        invocation — a W×64-pattern superword settle pass.
+
+        ``jobs`` is a sequence of ``(stimulus, n_patterns)`` pairs (each
+        exactly as :meth:`run` takes them).  The per-input pattern lists
+        are concatenated back to back into one wide word and the
+        register time shifts are masked at each segment's first pattern
+        (``q = (d << 1) & m & ~boundary``), so segment ``k`` never sees
+        segment ``k-1``'s trailing flip-flop state.  The returned
+        :class:`SegmentedRun` is therefore **bit-identical**, segment by
+        segment, to ``len(jobs)`` separate :meth:`run` calls — while
+        paying the per-gate interpreter overhead once.
+        """
+        module = self.module
+        lengths = [n for __, n in jobs]
+        segments, total, boundary = segment_plan(lengths)
+        for stimulus, __ in jobs:
+            for name in module.inputs:
+                if name not in stimulus:
+                    raise SimulationError(
+                        f"no stimulus for input bus {name!r}")
+        m = mask(total)
+        reg_mask = m & ~boundary
+        values = [0] * module.n_nets
+        for name, bus in module.inputs.items():
+            merged = []
+            for (stimulus, n) in jobs:
+                words = list(stimulus[name][:n])
+                if len(words) < n:
+                    words.extend([0] * (n - len(words)))
+                merged.extend(words)
+            packed = bit_transpose(merged, len(bus))
+            for i, net in enumerate(bus):
+                values[net] = packed[i]
+        for net, cval in module.constants.items():
+            values[net] = m if cval else 0
+
+        if self._kernel is not None:
+            self._kernel.run_levelized(values, m, reg_mask)
+        else:
+            self._run_interpreted(values, m, reg_mask)
+        return SegmentedRun(segments=segments, values=values)
+
+    def _run_interpreted(self, values, m, reg_mask=None):
         """Per-gate ``cell_eval`` dispatch — the reference kernel."""
         gates = self.module.gates
         registers = self.module.registers
+        if reg_mask is None:
+            reg_mask = m
         for node in self._order:
             if node >= 0:
                 gate = gates[node]
@@ -191,4 +340,4 @@ class LevelizedSimulator:
                         m, *[values[n] for n in ins]) & m
             else:
                 reg = registers[-node - 1]
-                values[reg.q] = (values[reg.d] << 1) & m
+                values[reg.q] = (values[reg.d] << 1) & reg_mask

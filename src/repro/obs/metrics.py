@@ -127,6 +127,21 @@ class MetricsRegistry:
             self._guard()
             _combine(self._histograms, name, value)
 
+    def observe_values(self, name, values):
+        """Record many samples under histogram ``name`` in one lock trip.
+
+        Semantically identical to one :meth:`observe_value` call per
+        element; the bulk form is what per-transaction hot paths use —
+        a wide serve batch lands hundreds of latency samples, and
+        paying the lock/lookup once per batch instead of once per
+        sample keeps the instrumentation tax width-independent.
+        """
+        if not self._enabled or not values:
+            return
+        with self._lock:
+            self._guard()
+            _combine_many(self._histograms, name, values)
+
     def timer(self, name):
         """Context manager timing its body into :meth:`observe`."""
         return _Timer(self, name)
@@ -278,6 +293,38 @@ def _combine(store, name, value):
             agg["max"] = value
         buckets = agg["buckets"]
         buckets[bucket] = buckets.get(bucket, 0) + 1
+
+
+def _combine_many(store, name, values):
+    # Bulk _combine: one aggregate lookup, then a tight loop.  Bucket
+    # math matches _combine exactly so merged snapshots cannot tell
+    # the two entry points apart.
+    agg = store.get(name)
+    if agg is None:
+        first = values[0]
+        agg = store[name] = {"count": 0, "total": 0, "min": first,
+                             "max": first, "buckets": {}}
+    buckets = agg["buckets"]
+    total = agg["total"]
+    lo = agg["min"]
+    hi = agg["max"]
+    for value in values:
+        if value > 0:
+            bucket = str(math.floor(math.log(value) / _LOG_GAMMA))
+        elif value == 0:
+            bucket = "zero"
+        else:
+            bucket = "neg"
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        total += value
+        if value < lo:
+            lo = value
+        elif value > hi:
+            hi = value
+    agg["count"] += len(values)
+    agg["total"] = total
+    agg["min"] = lo
+    agg["max"] = hi
 
 
 def _copy_aggregate(agg):

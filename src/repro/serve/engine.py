@@ -11,6 +11,13 @@ serving that lane and turns a list of transactions into a list of
 * the ``reduce64`` lane drives the standalone Fig. 6 reducer
   (combinational, so no latency padding).
 
+Batch size is unbounded here: the packed net values are Python big
+ints, so a batch wider than 64 patterns simply packs into a multi-limb
+superword (``ceil(len(txs)/64)`` limbs per net) and runs in the same
+single kernel pass — including the per-limb fp16x4 sub-lane split,
+which the software-envelope patcher indexes per transaction.  The
+*policy* width lives in the server/queue (``word_patterns``).
+
 Modules come from :func:`repro.eval.experiments.cached_module` — the
 two-level (in-process + on-disk pickle) module cache — and are then
 specialized once by :mod:`repro.hdl.sim.compile`'s levelized codegen,
@@ -40,8 +47,6 @@ from repro.serve.transactions import (
     Transaction,
     TxKind,
     TxResult,
-    is_normalized,
-    lane_pairs,
     software_lane_result,
 )
 
@@ -134,7 +139,8 @@ class LaneEngine:
                 raise FormatError(
                     f"{tx.kind} transaction routed to the {self.kind} lane")
         with obs.span(f"serve:run:{self.kind.value}", cat="serve",
-                      patterns=len(txs), module=self._module.name):
+                      patterns=len(txs), limbs=(len(txs) + 63) // 64,
+                      module=self._module.name):
             if self.kind is TxKind.REDUCE64:
                 return self._execute_reduce(txs)
             return self._execute_multiply(txs)
@@ -152,23 +158,36 @@ class LaneEngine:
         geometry = LANE_GEOMETRY.get(self.kind)
         ops = []
         patches = []                       # (tx index, lane, encoding)
-        for i, tx in enumerate(txs):
-            if geometry is None:           # int64: no special envelope
-                ops.append((OperandBundle.int64(tx.x, tx.y), fmt))
-                continue
+        if geometry is None:               # int64: no special envelope
+            int64_bundle = OperandBundle.int64
+            ops = [(int64_bundle(tx.x, tx.y), fmt) for tx in txs]
+        else:
+            # Hot per-transaction loop: the format attributes and the
+            # normalized-exponent test are hoisted/inlined — at wide
+            # words this demux, not the kernel, bounds throughput.
             ieee, lanes = geometry
             width = 64 // lanes
             one = ONE_ENCODING[ieee]
-            xw, yw = tx.x, tx.y
-            for k, (xe, ye) in enumerate(lane_pairs(tx)):
-                if is_normalized(xe, ieee) and is_normalized(ye, ieee):
-                    continue
-                patches.append((i, width * k,
-                                software_lane_result(self.kind, xe, ye)))
-                lane_mask = mask(width) << (width * k)
-                xw = (xw & ~lane_mask) | (one << (width * k))
-                yw = (yw & ~lane_mask) | (one << (width * k))
-            ops.append((OperandBundle(xw, yw), fmt))
+            tbits = ieee.trailing_significand_bits
+            emask = ieee.exponent_mask
+            wmask = mask(width)
+            shifts = [width * k for k in range(lanes)]
+            for i, tx in enumerate(txs):
+                xw, yw = tx.x, tx.y
+                for sh in shifts:
+                    xe = (xw >> sh) & wmask
+                    ye = (yw >> sh) & wmask
+                    ex = (xe >> tbits) & emask
+                    ey = (ye >> tbits) & emask
+                    if 0 < ex < emask and 0 < ey < emask:
+                        continue
+                    patches.append((i, sh,
+                                    software_lane_result(self.kind, xe,
+                                                         ye)))
+                    lane_mask = wmask << sh
+                    xw = (xw & ~lane_mask) | (one << sh)
+                    yw = (yw & ~lane_mask) | (one << sh)
+                ops.append((OperandBundle(xw, yw), fmt))
         if patches:
             obs.registry().inc("serve.software_lanes", len(patches))
 

@@ -19,6 +19,10 @@ CLI::
 
 ``--baseline`` forces ``max_batch=1`` — the one-transaction-per-word
 configuration ``benchmarks/bench_serve.py`` compares against.
+``--word-patterns N`` (a multiple of 64, or ``auto`` for the tuner's
+cached per-design choice) widens the simulation word to an ``N``-slot
+superword; the run record carries a per-width occupancy sketch row so
+wide-word sweeps can be compared run to run.
 """
 
 import argparse
@@ -148,15 +152,18 @@ def warm_engines(mix=None):
             break
 
 
-def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
-             max_wait=0.02, max_depth=4096, burst_mean=16, gap_ms=0.0,
+def run_load(requests=256, seed=2017, baseline=False, max_batch=None,
+             max_wait=0.02, max_depth=None, burst_mean=16, gap_ms=0.0,
              specials=0.02, mix=None, verify=True, warm=True,
-             telemetry_port=None, before_stop=None):
+             telemetry_port=None, before_stop=None,
+             word_patterns=WORD_PATTERNS):
     """Drive one load run; returns the result record (JSON-ready).
 
     ``baseline=True`` is the one-transaction-per-word configuration:
     every word carries a single pattern, so the requests/sec it sustains
     is the unbatched floor the coalescing server is measured against.
+    ``word_patterns`` (a multiple of 64) widens the simulation word;
+    ``max_batch=None`` coalesces up to the full word.
 
     ``telemetry_port`` (0 = ephemeral) starts the server's HTTP
     telemetry endpoint for the run; ``before_stop(server)`` is called
@@ -170,15 +177,19 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
 
     reg = obs.registry()
     counters_before = dict(reg.snapshot()["counters"])
-    # The registry is process-cumulative; diff the latency sketch's
-    # buckets around the run so the quantiles describe *this* run even
-    # when several run_load() calls share a process (bench_serve.py).
+    # The registry is process-cumulative; diff the latency and
+    # occupancy sketches' buckets around the run so the quantiles
+    # describe *this* run even when several run_load() calls share a
+    # process (bench_serve.py).
     agg_before = reg.aggregate("serve.latency_ms")
     buckets_before = (agg_before or {}).get("buckets", {})
+    occ_before = reg.aggregate("serve.batch.occupancy")
+    occ_buckets_before = (occ_before or {}).get("buckets", {})
 
     server = Server(max_batch=1 if baseline else max_batch,
                     max_wait=max_wait, max_depth=max_depth,
-                    telemetry_port=telemetry_port)
+                    telemetry_port=telemetry_port,
+                    word_patterns=word_patterns)
     tickets = []
     t0 = time.perf_counter()
     i = 0
@@ -238,16 +249,32 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
         for name, value in snap["counters"].items()
         if name.startswith("serve.")
     }
-    occupancy = snap["histograms"].get("serve.batch.occupancy", {})
     flushes = {name.split(".", 2)[2]: value
                for name, value in counters.items()
                if name.startswith("serve.flushes.")}
     n_flushes = sum(flushes.values())
+
+    # Run-scoped occupancy quantiles (patterns per dispatched word),
+    # the per-width row the wide-word sweeps compare: occupancy above
+    # 64 is only reachable when word_patterns > 64 actually coalesces.
+    occ_after = reg.aggregate("serve.batch.occupancy") or {}
+    occ_sketch = QuantileSketch.from_dict(
+        diff_bucket_dicts(occ_after.get("buckets", {}),
+                          occ_buckets_before))
+    occupancy_row = {
+        "word_patterns": word_patterns,
+        "mean": (round(requests / n_flushes, 3) if n_flushes else None),
+        "p50": occ_sketch.quantile(0.50, lo=1,
+                                   hi=1 if baseline else word_patterns),
+        "max": occ_sketch.quantile(1.00, lo=1,
+                                   hi=1 if baseline else word_patterns),
+    }
     record = {
         "requests": requests,
         "seed": seed,
         "mode": "baseline" if baseline else "coalesced",
-        "max_batch": 1 if baseline else max_batch,
+        "max_batch": 1 if baseline else (max_batch if max_batch is not None
+                                         else word_patterns),
         "max_wait_s": max_wait,
         "burst_mean": burst_mean,
         "gap_ms": gap_ms,
@@ -262,7 +289,9 @@ def run_load(requests=256, seed=2017, baseline=False, max_batch=WORD_PATTERNS,
         "words_dispatched": n_flushes,
         "mean_occupancy": (round(requests / n_flushes, 3)
                            if n_flushes else None),
-        "word_capacity": WORD_PATTERNS,
+        "word_capacity": word_patterns,
+        "word_limbs": word_patterns // WORD_PATTERNS,
+        "occupancy": occupancy_row,
         "latency_ms": latency_ms,
         "latency_quantile_source": ("sketch" if sketch.count else "exact"),
         "software_lanes": counters.get("serve.software_lanes", 0),
@@ -311,6 +340,22 @@ def _make_scraper(out_dir):
     return scrape
 
 
+def _resolve_word_patterns(value):
+    """Parse ``--word-patterns``: an int, ``"auto"`` or ``None`` (64).
+
+    ``auto`` reads the width the tuner cached for the serving netlist
+    (the ``mf`` unit backs every multiply lane) and never measures, so
+    cold starts stay fast and deterministic.
+    """
+    if value is None:
+        return WORD_PATTERNS
+    if isinstance(value, str) and value.strip().lower() == "auto":
+        from repro.eval.tune import tuned_word_patterns
+
+        return tuned_word_patterns("mf", default=WORD_PATTERNS)
+    return int(value)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.loadgen",
@@ -319,10 +364,18 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=2017)
     parser.add_argument("--baseline", action="store_true",
                         help="one-transaction-per-word mode (max_batch=1)")
-    parser.add_argument("--max-batch", type=int, default=WORD_PATTERNS)
+    parser.add_argument("--word-patterns", default=None, metavar="N|auto",
+                        help="simulation word capacity, a multiple of 64 "
+                             "(default 64); 'auto' reads the per-design "
+                             "width cached by 'python -m repro tune width'")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="patterns coalesced per word (default: the "
+                             "full word)")
     parser.add_argument("--max-wait", type=float, default=0.02,
                         metavar="SECONDS")
-    parser.add_argument("--max-depth", type=int, default=4096)
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="per-lane queue bound (default: scales with "
+                             "--word-patterns, at least 4096)")
     parser.add_argument("--burst", type=int, default=16, metavar="MEAN",
                         help="mean geometric burst size (arrivals)")
     parser.add_argument("--gap-ms", type=float, default=0.0,
@@ -335,7 +388,11 @@ def main(argv=None):
     parser.add_argument("--slo-p99-ms", type=float, default=None,
                         metavar="MS",
                         help="exit nonzero when the sketch p99 latency "
-                             "exceeds this budget")
+                             "exceeds this budget (latency is always "
+                             "per-transaction, so the budget means the "
+                             "same thing at any --word-patterns; size it "
+                             "vs --max-wait, which bounds the fill time "
+                             "of a partial word)")
     parser.add_argument("--telemetry-port", type=int, default=None,
                         metavar="PORT",
                         help="serve /metrics and /healthz during the run "
@@ -361,6 +418,7 @@ def main(argv=None):
             telemetry_port = 0
         before_stop = _make_scraper(args.scrape_dir)
 
+    word_patterns = _resolve_word_patterns(args.word_patterns)
     if args.trace:
         obs.start_trace()
     record = run_load(
@@ -368,7 +426,8 @@ def main(argv=None):
         max_batch=args.max_batch, max_wait=args.max_wait,
         max_depth=args.max_depth, burst_mean=args.burst, gap_ms=args.gap_ms,
         specials=args.specials, verify=not args.no_verify,
-        telemetry_port=telemetry_port, before_stop=before_stop)
+        telemetry_port=telemetry_port, before_stop=before_stop,
+        word_patterns=word_patterns)
     if args.trace:
         obs.write_trace(args.trace)
     if args.metrics_json:
@@ -389,8 +448,14 @@ def main(argv=None):
               f"{record['requests_per_s']:.0f} req/s")
         print(f"occupancy {record['mean_occupancy']}/"
               f"{record['word_capacity']} patterns/word over "
-              f"{record['words_dispatched']} words; flushes "
+              f"{record['words_dispatched']} words "
+              f"({record['word_limbs']} limb"
+              f"{'s' if record['word_limbs'] != 1 else ''}); flushes "
               f"{record['flushes']}")
+        occ = record["occupancy"]
+        if occ["p50"] is not None:
+            print(f"  W={record['word_limbs']:<3} occupancy sketch: "
+                  f"p50={occ['p50']:.0f} max={occ['max']:.0f}")
         for lane, rps in record["per_lane_requests_per_s"].items():
             print(f"  {lane:<9} {record['per_lane_requests'][lane]:>6} req"
                   f"   {rps:>10.1f} req/s")

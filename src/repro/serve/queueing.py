@@ -5,13 +5,17 @@ word.  It is a pure data structure — the :class:`~repro.serve.server.Server`
 drives it under its own lock — which keeps the flush policy independently
 testable:
 
-* ``max_batch``  — patterns per word (1..64); reaching it makes the
-  queue flush-ready with reason ``"full"``;
+* ``word_patterns`` — the lane's simulation word capacity, a multiple
+  of 64: ``W = word_patterns // 64`` limbs per packed net value;
+* ``max_batch``  — patterns per word (1..``word_patterns``, default
+  the full word); reaching it makes the queue flush-ready with reason
+  ``"full"``;
 * ``max_wait``   — seconds the *oldest* pending transaction may wait
   before the queue becomes flush-ready with reason ``"timeout"``;
-* ``max_depth``  — bound on queued transactions; :meth:`push` refuses
-  beyond it and the server turns that refusal into blocking or
-  :class:`~repro.errors.QueueFullError` backpressure.
+* ``max_depth``  — bound on queued transactions (its minimum is
+  ``max_batch``, so it scales with the configured word width);
+  :meth:`push` refuses beyond it and the server turns that refusal
+  into blocking or :class:`~repro.errors.QueueFullError` backpressure.
 """
 
 from collections import deque
@@ -19,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import FormatError
-from repro.serve.transactions import WORD_PATTERNS
+from repro.serve.transactions import WORD_PATTERNS, validate_word_patterns
 
 #: Flush reasons, in the order the server prefers them.
 FLUSH_FULL = "full"
@@ -44,22 +48,32 @@ class BatchingQueue:
     """FIFO of pending transactions for one lane."""
 
     lane: str
-    max_batch: int = WORD_PATTERNS
+    max_batch: Optional[int] = None
     max_wait: float = 0.005
-    max_depth: int = 4096
+    max_depth: Optional[int] = None
+    word_patterns: int = WORD_PATTERNS
     _pending: deque = field(default_factory=deque, repr=False)
 
     def __post_init__(self):
-        if not 1 <= self.max_batch <= WORD_PATTERNS:
+        validate_word_patterns(self.word_patterns)
+        if self.max_batch is None:
+            self.max_batch = self.word_patterns
+        if self.max_depth is None:
+            # The default depth bound scales with the word width: a
+            # wide-word lane must always be able to queue at least one
+            # full superword.
+            self.max_depth = max(4096, self.word_patterns)
+        if not 1 <= self.max_batch <= self.word_patterns:
             raise FormatError(
-                f"max_batch must be in 1..{WORD_PATTERNS}, "
-                f"got {self.max_batch}")
+                f"max_batch must be in 1..word_patterns="
+                f"{self.word_patterns}, got {self.max_batch}")
         if self.max_wait < 0:
             raise FormatError(f"max_wait must be >= 0, got {self.max_wait}")
         if self.max_depth < self.max_batch:
             raise FormatError(
                 f"max_depth ({self.max_depth}) must be >= max_batch "
-                f"({self.max_batch})")
+                f"({self.max_batch}) — the depth floor scales with the "
+                f"lane's word_patterns={self.word_patterns}")
 
     @property
     def depth(self):

@@ -4,8 +4,12 @@
 words and dispatches them through the compiled levelized kernels — the
 paper's "idle capacity is wasted throughput" argument applied to the
 bit-parallel simulator, whose per-run cost is dominated by the gate
-count, not the pattern count.  Filling all 64 pattern slots of a word
-therefore buys ~64 transactions for roughly the price of one.
+count, not the pattern count.  Filling every pattern slot of a word
+therefore buys ``word_patterns`` transactions for roughly the price of
+one; ``word_patterns`` is a multiple of 64 (``W`` 64-pattern limbs per
+packed net value, tuned per design by ``python -m repro tune width``),
+so a wide-word server amortizes each kernel pass over several base
+words.
 
 Architecture::
 
@@ -26,6 +30,7 @@ regardless of how transactions land in words.
 Observability (``repro.obs``): counters ``serve.requests`` /
 ``serve.<lane>.requests`` / ``serve.flushes.<reason>``, histograms
 ``serve.batch.occupancy`` (patterns used per dispatched word),
+``serve.batch.limbs`` (64-pattern limbs per dispatched word),
 ``serve.queue.depth``, ``serve.latency_ms`` / ``serve.<lane>.latency_ms``
 and the per-lane stage histograms ``serve.<lane>.stage.enqueue_ms`` /
 ``.flush_ms`` / ``.demux_ms``, timer ``serve.flush.wall``, and
@@ -48,6 +53,7 @@ from repro.serve.transactions import (
     WORD_PATTERNS,
     Transaction,
     TxKind,
+    validate_word_patterns,
 )
 
 #: /healthz flags a lane as saturated past this fraction of max_depth.
@@ -137,9 +143,15 @@ class Server:
 
     Parameters
     ----------
+    word_patterns:
+        Pattern capacity of one simulation word — a multiple of 64;
+        ``word_patterns // 64`` limbs are packed per net value.  The
+        width auto-tuner (``python -m repro tune width``) measures the
+        per-design sweet spot.
     max_batch:
-        Patterns coalesced per simulation word (1..64).  ``max_batch=1``
-        is the one-transaction-per-word baseline the benchmarks compare
+        Patterns coalesced per simulation word (1..``word_patterns``,
+        default the full word).  ``max_batch=1`` is the
+        one-transaction-per-word baseline the benchmarks compare
         against.
     max_wait:
         Seconds a transaction may wait for its word to fill before a
@@ -161,13 +173,15 @@ class Server:
         with the background gauge sampler.
     """
 
-    def __init__(self, max_batch=WORD_PATTERNS, max_wait=0.005,
-                 max_depth=4096, lanes=None, autostart=True,
-                 telemetry_port=None):
+    def __init__(self, max_batch=None, max_wait=0.005,
+                 max_depth=None, lanes=None, autostart=True,
+                 telemetry_port=None, word_patterns=WORD_PATTERNS):
+        self.word_patterns = validate_word_patterns(word_patterns)
         kinds = tuple(lanes) if lanes is not None else tuple(TxKind)
         self._queues = {
             kind: BatchingQueue(lane=kind.value, max_batch=max_batch,
-                                max_wait=max_wait, max_depth=max_depth)
+                                max_wait=max_wait, max_depth=max_depth,
+                                word_patterns=word_patterns)
             for kind in kinds
         }
         self._cond = threading.Condition()
@@ -176,7 +190,7 @@ class Server:
         self._running = False
         self._thread = None
         self._telemetry = None
-        obs.registry().annotate("serve.word_capacity", WORD_PATTERNS)
+        obs.registry().annotate("serve.word_capacity", word_patterns)
         if autostart:
             self.start()
         if telemetry_port is not None:
@@ -324,14 +338,16 @@ class Server:
                     obs.registry().inc("serve.rejected")
                     raise QueueFullError(
                         f"lane {tx.kind.value} is at max_depth="
-                        f"{queue.max_depth}")
+                        f"{queue.max_depth} "
+                        f"(word_patterns={queue.word_patterns})")
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
                     obs.registry().inc("serve.rejected")
                     raise QueueFullError(
                         f"lane {tx.kind.value} still full after "
-                        f"{timeout}s")
+                        f"{timeout}s "
+                        f"(word_patterns={queue.word_patterns})")
                 self._cond.wait(remaining)
             pending.enqueued_at = time.monotonic()
             depth = queue.depth
@@ -410,10 +426,13 @@ class Server:
         reg.observe_value("serve.queue.depth", self._queues[kind].depth)
         reg.observe_value("serve.batch.occupancy", len(batch))
         reg.observe_value(f"serve.{lane}.batch.occupancy", len(batch))
+        # Limbs = 64-pattern words this batch packs into one kernel
+        # pass; occupancy > 64 is only reachable with wide words.
+        reg.observe_value("serve.batch.limbs",
+                          (len(batch) + WORD_PATTERNS - 1) // WORD_PATTERNS)
         now = time.monotonic()
-        for p in batch:
-            reg.observe_value(f"serve.{lane}.stage.enqueue_ms",
-                              (now - p.enqueued_at) * 1e3)
+        reg.observe_values(f"serve.{lane}.stage.enqueue_ms",
+                           [(now - p.enqueued_at) * 1e3 for p in batch])
         t0 = time.perf_counter()
         with obs.span(f"serve:flush:{lane}", cat="serve",
                       batch=len(batch), reason=reason):
@@ -433,13 +452,17 @@ class Server:
         t1 = time.perf_counter()
         reg.observe("serve.flush.wall", t1 - t0)
         reg.observe_value(f"serve.{lane}.stage.flush_ms", (t1 - t0) * 1e3)
+        latencies_ms = []
         for p, result in zip(batch, results):
             p.ticket._resolve(result=result)
             latency = p.ticket.latency_s
             if latency is not None:
-                reg.observe_value("serve.latency_ms", latency * 1e3)
-                reg.observe_value(f"serve.{lane}.latency_ms",
-                                  latency * 1e3)
+                latencies_ms.append(latency * 1e3)
+        # One lock trip per word, not three per transaction: at wide
+        # words the per-sample registry cost would otherwise dominate
+        # the (width-independent) demux path.
+        reg.observe_values("serve.latency_ms", latencies_ms)
+        reg.observe_values(f"serve.{lane}.latency_ms", latencies_ms)
         reg.observe_value(f"serve.{lane}.stage.demux_ms",
                           (time.perf_counter() - t1) * 1e3)
 

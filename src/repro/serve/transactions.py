@@ -37,9 +37,26 @@ from repro.core.mfmult import MFMult
 from repro.core.reduction import reduce_binary64
 from repro.errors import FormatError
 
-#: Pattern capacity of one simulation word — the service never packs
-#: more transactions than this into a single levelized run.
+#: Pattern capacity of one base simulation word (one 64-bit limb of a
+#: packed net value).  Lanes may batch wider **superwords** of
+#: ``W * WORD_PATTERNS`` patterns (``W`` limbs per net); every
+#: configured width must be a multiple of this base.
 WORD_PATTERNS = 64
+
+
+def validate_word_patterns(n):
+    """Validate a superword capacity: a positive multiple of 64.
+
+    Returns ``n`` unchanged.  A width of ``n`` patterns packs
+    ``n // WORD_PATTERNS`` 64-bit limbs per net; fractional limbs would
+    desynchronize the fp16x4 sub-lane demux, so they are rejected.
+    """
+    if not isinstance(n, int) or isinstance(n, bool) \
+            or n < WORD_PATTERNS or n % WORD_PATTERNS:
+        raise FormatError(
+            f"word_patterns must be a positive multiple of "
+            f"{WORD_PATTERNS}, got {n!r}")
+    return n
 
 
 class TxKind(enum.Enum):

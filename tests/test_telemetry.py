@@ -261,11 +261,15 @@ class TestPerfGate:
     def test_record_then_check_passes(self, tmp_path):
         hist = tmp_path / "history"
         results = {"speedup": 30.0,
-                   "coalesced": {"requests_per_s": 1500.0}}
+                   "coalesced": {"requests_per_s": 1500.0},
+                   "wide": {"requests_per_s": 3000.0},
+                   "wide_speedup_vs_coalesced64": 2.0}
         entry = perf.record("serve", results, history_dir=hist)
         assert entry["schema"] == "repro.perf/1"
         assert entry["metrics"] == {"speedup": 30.0,
-                                    "coalesced.requests_per_s": 1500.0}
+                                    "coalesced.requests_per_s": 1500.0,
+                                    "wide.requests_per_s": 3000.0,
+                                    "wide_speedup_vs_coalesced64": 2.0}
         verdicts = perf.check("serve", results, history_dir=hist)
         assert all(v["ok"] for v in verdicts)
         assert {v["status"] for v in verdicts} == {"ok"}
