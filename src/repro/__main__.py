@@ -10,6 +10,9 @@ Usage::
     python -m repro perf record          # append BENCH_* to perf history
     python -m repro perf check           # gate vs the rolling baseline
     python -m repro tune width           # measure + cache superword widths
+    python -m repro worker serve --bind 0.0.0.0:9700 --workers 8
+                                         # serve this box's cores to
+                                         # --backend remote coordinators
 """
 
 import argparse
@@ -53,7 +56,11 @@ def main(argv=None):
                              "experiment job graph (default serial)")
     parser.add_argument("--backend", default="auto",
                         help="for 'report': execution backend "
-                             "(auto/inline/fork/workers)")
+                             "(auto/inline/fork/workers/remote)")
+    parser.add_argument("--hosts", default=None,
+                        help="for 'report' with --backend remote: "
+                             "worker daemons as HOST:PORT,... "
+                             "(default REPRO_SCHED_HOSTS)")
     parser.add_argument("--output", default=None,
                         help="for 'report': write the markdown report "
                              "to this path")
@@ -74,6 +81,11 @@ def main(argv=None):
         from repro.eval.tune import main as tune_main
 
         return tune_main(argv[1:])
+    if argv and argv[0] == "worker":
+        # Remote-backend worker daemon: delegate to the daemon CLI.
+        from repro.eval.sched.daemon import main as worker_main
+
+        return worker_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.targets and args.targets[0] == "export-verilog":
@@ -86,7 +98,8 @@ def main(argv=None):
         text = generate_report(n_cycles=args.cycles,
                                out_path=args.output,
                                workers=args.workers,
-                               backend=args.backend)
+                               backend=args.backend,
+                               hosts=args.hosts)
         if args.output:
             print(f"wrote report to {args.output}")
         else:

@@ -184,7 +184,14 @@ class ResultCache:
                 entry = False                # present but unreadable
             if entry is not None and not isinstance(entry, dict):
                 entry = False
-            if entry in (None, False) or entry.get("key") != key:
+            # Two self-verifying entry forms share the store: keyed
+            # entries written locally ({"key": <full key>}) and digest
+            # entries synced from a remote daemon ({"digest": <hex>} —
+            # the daemon only ever saw the content address).  Either
+            # proof ties the object to the name that found it.
+            if entry in (None, False) or not (
+                    entry.get("key") == key
+                    or entry.get("digest") == digest):
                 if entry is not None:
                     # Torn pickle or digest/key mismatch: corrupt, not
                     # merely cold.  Count it and clear the way for the
@@ -223,6 +230,76 @@ class ResultCache:
             return
         entries = self._load_index()
         entries[digest] = {"name": jb.name,
+                           "bytes": path.stat().st_size,
+                           "atime": time.time()}
+        if self.max_bytes is not None:
+            self._evict_locked(self.max_bytes, keep=digest)
+        self._flush_index()
+
+    # ------------------------------------------------------------------
+    # digest-addressed access (remote cache sync)
+    # ------------------------------------------------------------------
+
+    def has_object(self, digest):
+        """Whether the store holds an object under ``digest``."""
+        return self.root is not None and self._object_path(digest).is_file()
+
+    def load_object(self, digest):
+        """``(hit, value)`` straight by content address.
+
+        The remote coordinator pulls warm results this way — it knows
+        the digest from the leaf fingerprint, not the daemon's key.
+        Verification matches :meth:`load`: the entry must carry either
+        a key hashing to ``digest`` or the digest itself.
+        """
+        if self.root is None:
+            return False, None
+        path = self._object_path(digest)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            entry = None
+        if not isinstance(entry, dict) or not (
+                (isinstance(entry.get("key"), str)
+                 and key_digest(entry["key"]) == digest)
+                or entry.get("digest") == digest):
+            obs.registry().inc("orchestrator.cache.corrupt")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None
+        entries = self._load_index()
+        if digest in entries:
+            entries[digest]["atime"] = time.time()
+            self._flush_index()
+        return True, entry["value"]
+
+    def store_object(self, digest, value, name="?"):
+        """Best-effort store of one object under a bare content address.
+
+        The daemon-side half of cache sync: a worker daemon never sees
+        the full cache key (the wire carries only the fingerprint), so
+        its entries record the digest as their self-verification proof.
+        """
+        if self.root is None:
+            return
+        path = self._object_path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"schema": SCHEMA, "digest": digest,
+                             "value": value},
+                            fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            return
+        entries = self._load_index()
+        entries[digest] = {"name": name,
                            "bytes": path.stat().st_size,
                            "atime": time.time()}
         if self.max_bytes is not None:
@@ -318,9 +395,11 @@ class ResultCache:
                 blob = tar.extractfile(member).read()
                 try:
                     entry = pickle.loads(blob)
-                    key = entry["key"]
-                    assert key_digest(key) == digest
                     assert entry.get("schema") == SCHEMA
+                    if "key" in entry:
+                        assert key_digest(entry["key"]) == digest
+                    else:
+                        assert entry["digest"] == digest
                 except Exception:
                     corrupt += 1
                     obs.registry().inc("orchestrator.cache.corrupt")

@@ -222,6 +222,11 @@ def _resolve_backend_choice(backend, workers):
             f"unknown scheduler backend {backend!r}; choose from "
             f"{', '.join(BACKEND_CHOICES)}")
     workers = 0 if workers is None else int(workers)
+    if backend == "remote":
+        # Remote capacity is the daemons' cores, not this box's: the
+        # oversubscription downgrade does not apply, and the worker
+        # count is advisory (each daemon announces its own pool size).
+        return "remote", max(1, workers)
     if backend == "inline" or (backend == "auto" and workers <= 1):
         return "inline", 1
 
@@ -242,12 +247,15 @@ def _resolve_backend_choice(backend, workers):
     return backend, max(1, workers)
 
 
-def run_graph(jobs, workers=0, cache=None, backend="auto", progress=None):
+def run_graph(jobs, workers=0, cache=None, backend="auto", progress=None,
+              hosts=None):
     """Execute a job graph; returns ``{name: JobOutcome}``.
 
     ``backend`` picks the execution backend (``auto``/``inline``/
-    ``fork``/``workers``; see :func:`_resolve_backend_choice` for the
-    ``auto`` policy).  The inline path runs everything in deterministic
+    ``fork``/``workers``/``remote``; see :func:`_resolve_backend_choice`
+    for the ``auto`` policy).  ``hosts`` names the worker daemons of the
+    ``remote`` backend (``HOST:PORT,...``; default
+    ``REPRO_SCHED_HOSTS``).  The inline path runs everything in deterministic
     topological order with zero scheduling overhead; parallel backends
     fan cache-missing leaf jobs out heaviest-first and stream results
     back as each leaf finishes.  Merge jobs always run in the parent,
@@ -301,7 +309,7 @@ def run_graph(jobs, workers=0, cache=None, backend="auto", progress=None):
         return unblocked
 
     reg = obs.registry()
-    with make_backend(chosen, eff_workers) as pool, \
+    with make_backend(chosen, eff_workers, hosts=hosts) as pool, \
             obs.span("graph:run", cat="orchestrator", jobs=total,
                      backend=chosen, workers=eff_workers):
 
@@ -629,7 +637,8 @@ def build_jobs(name, params=None):
 # public entry points
 # ----------------------------------------------------------------------
 
-def run_experiment(name, workers=0, cache=True, backend="auto", **params):
+def run_experiment(name, workers=0, cache=True, backend="auto",
+                   hosts=None, **params):
     """Run one experiment through the orchestrator; returns its result.
 
     This is what the benchmark drivers call: repeated benchmark
@@ -637,15 +646,17 @@ def run_experiment(name, workers=0, cache=True, backend="auto", **params):
     instead of rebuilding private state.  ``cache`` accepts ``True``
     (default on-disk cache), ``False`` (no caching) or a
     :class:`ResultCache` instance; ``backend`` one of ``auto``/
-    ``inline``/``fork``/``workers``.
+    ``inline``/``fork``/``workers``/``remote`` (``hosts`` names the
+    remote backend's worker daemons).
     """
     outcomes = run_graph(build_jobs(name, params), workers=workers,
-                         cache=resolve_cache(cache), backend=backend)
+                         cache=resolve_cache(cache), backend=backend,
+                         hosts=hosts)
     return outcomes[name].value
 
 
 def run_experiments(requests, workers=0, cache=True, backend="auto",
-                    progress=None):
+                    progress=None, hosts=None):
     """Run several experiments as one shared graph.
 
     ``requests`` is a sequence of ``(name, params)`` pairs; returns
@@ -661,7 +672,7 @@ def run_experiments(requests, workers=0, cache=True, backend="auto",
         finals.append(name)
     outcomes = run_graph(jobs, workers=workers,
                          cache=resolve_cache(cache), backend=backend,
-                         progress=progress)
+                         progress=progress, hosts=hosts)
     results = {name: outcomes[name].value for name in finals}
     ordered = [outcomes[jb.name] for jb in jobs]
     return results, ordered

@@ -77,7 +77,7 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
                     include_verification=False, mutations=12,
                     fault_mode="differential", workers=0,
                     cache=True, filters=None, metrics=None,
-                    backend="auto", progress=None):
+                    backend="auto", progress=None, hosts=None):
     """Run all experiments; returns the report text (and writes it).
 
     ``n_cycles`` controls Monte Carlo depth (power experiments);
@@ -86,7 +86,8 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
     ``workers`` fans the job graph out over that many processes
     (``<= 1`` runs serially — same bytes either way) and ``backend``
     picks the execution backend (``auto``/``inline``/``fork``/
-    ``workers``; see :mod:`repro.eval.sched`); ``cache`` is
+    ``workers``/``remote`` — the latter running leaves on the worker
+    daemons named by ``hosts``; see :mod:`repro.eval.sched`); ``cache`` is
     ``True``/``False`` or a :class:`repro.eval.orchestrator.ResultCache`.
     ``filters`` (substrings matched against experiment names) narrows
     the section list.  ``metrics``, when a dict, is filled with the
@@ -111,6 +112,9 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
 
     reg.gauge("report.workers", workers)
     reg.annotate("report.backend", backend)
+    if hosts:
+        reg.annotate("report.hosts",
+                     hosts if isinstance(hosts, str) else list(hosts))
     t0 = time.perf_counter()
     with obs.span("report:experiments", cat="report",
                   sections=len(sections), workers=workers,
@@ -118,7 +122,7 @@ def generate_report(n_cycles=12, out_path=None, include_sweeps=False,
         results, outcomes = run_experiments(
             [(name, params) for __, name, params in sections],
             workers=workers, cache=cache, backend=backend,
-            progress=progress)
+            progress=progress, hosts=hosts)
     wall_s = time.perf_counter() - t0
 
     with obs.span("report:render", cat="report"):
@@ -226,8 +230,14 @@ def main(argv=None):
                         help="execution backend for the job graph: "
                              "auto (inline when serial or "
                              "oversubscribed, else fork), inline, "
-                             "fork, or the work-stealing 'workers' "
-                             "pool (default auto)")
+                             "fork, the work-stealing 'workers' "
+                             "pool, or 'remote' worker daemons "
+                             "(default auto)")
+    parser.add_argument("--hosts", default=os.environ.get(
+                            "REPRO_SCHED_HOSTS") or None,
+                        metavar="HOST:PORT,...",
+                        help="worker daemons for --backend remote "
+                             "(default: REPRO_SCHED_HOSTS)")
     parser.add_argument("--filter", action="append", default=None,
                         metavar="SUBSTR",
                         help="only sections whose experiment name or "
@@ -301,6 +311,7 @@ def main(argv=None):
             metrics=metrics,
             backend=args.backend,
             progress=progress,
+            hosts=args.hosts,
         )
     finally:
         if progress is not None:

@@ -13,6 +13,10 @@ fork      the classic fork-context ``ProcessPoolExecutor``
 workers   long-lived worker processes speaking the ``repro.sched/1``
           wire protocol, scheduled by deque-based work stealing with
           crash recovery and live result streaming
+remote    the same wire protocol over authenticated TCP to worker
+          daemons on other machines (``--hosts a:9700,b:9700``), with
+          cross-host stealing, digest-based cache sync and lost-host
+          recovery
 ========  ==========================================================
 
 :func:`make_backend` maps a name + worker count to an instance; the
@@ -31,6 +35,7 @@ from repro.eval.sched.base import (
 )
 from repro.eval.sched.fork import ForkBackend
 from repro.eval.sched.inline import InlineBackend
+from repro.eval.sched.remote import RemoteBackend
 from repro.eval.sched.stealing import WorkersBackend
 
 #: Every selectable backend, by registry key.
@@ -38,14 +43,20 @@ BACKENDS = {
     "inline": InlineBackend,
     "fork": ForkBackend,
     "workers": WorkersBackend,
+    "remote": RemoteBackend,
 }
 
 #: What the CLI offers (``auto`` resolves in the scheduler core).
 BACKEND_CHOICES = ("auto",) + tuple(BACKENDS)
 
 
-def make_backend(name, workers):
-    """Instantiate backend ``name`` for ``workers`` processes."""
+def make_backend(name, workers, hosts=None):
+    """Instantiate backend ``name`` for ``workers`` processes.
+
+    The ``remote`` backend takes ``hosts`` (a ``HOST:PORT,...`` spec or
+    iterable; falls back to ``REPRO_SCHED_HOSTS``) instead of a local
+    worker count — its capacity is whatever the daemons announce.
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
@@ -54,12 +65,16 @@ def make_backend(name, workers):
         raise SimulationError(
             f"unknown scheduler backend {name!r}; choose from "
             f"{', '.join(BACKEND_CHOICES)}") from None
+    if name == "remote":
+        from repro.eval.sched.remote import parse_hosts
+
+        return cls(parse_hosts(hosts))
     return cls(workers)
 
 
 __all__ = [
     "BACKENDS", "BACKEND_CHOICES", "Backend", "ForkBackend",
-    "InlineBackend", "LeafResult", "LeafTask", "WorkersBackend",
-    "call_leaf", "execute_task", "make_backend", "raise_leaf_failure",
-    "resolve_fn",
+    "InlineBackend", "LeafResult", "LeafTask", "RemoteBackend",
+    "WorkersBackend", "call_leaf", "execute_task", "make_backend",
+    "raise_leaf_failure", "resolve_fn",
 ]

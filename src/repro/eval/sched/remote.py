@@ -1,0 +1,544 @@
+"""The ``remote`` backend: orchestrator leaves on other machines.
+
+The coordinator side of the multi-host scheduler.  ``--backend remote
+--hosts a:9700,b:9700`` connects to worker daemons
+(:mod:`repro.eval.sched.daemon`), authenticates each socket with the
+mutual HMAC handshake of :mod:`repro.eval.sched.wire`, and then drives
+the same :class:`~repro.eval.sched.base.Backend` contract the local
+backends implement — ``submit`` / ``next_result`` / ``close`` — so the
+scheduler core, the report CLI and the benchmarks need no new code
+paths to span machines.
+
+Scheduling
+    Mirrors the ``workers`` backend one level up: one backlog deque per
+    *host* (capacity = the worker count its ``welcome`` frame
+    announced), submits landing on the least-loaded host, and an idle
+    host **stealing from the tail of the longest other backlog** before
+    going hungry.  Each host runs the stolen leaves on its own local
+    stealing pool, so the cluster is a two-level stealing hierarchy.
+
+Cache sync
+    Before a leaf is dispatched its sha256 cache digest (the
+    ``LeafTask.fingerprint`` the orchestrator computes anyway) is
+    **offered** to every connected host; a host holding the object in
+    its content-addressed store answers with a hit and the coordinator
+    **pulls** the pickled result by digest instead of re-executing the
+    leaf — warm entries move between machines over the same socket.
+    Dispatch waits until every live host has answered the offer, so a
+    fully warm cluster replays a report with zero leaf executions.
+    Daemons store every result they execute under its digest, and
+    ``REPRO_SCHED_REPLICATE=1`` additionally pushes each finished
+    object to the hosts that reported a miss.
+
+Failure model
+    Heartbeat pings flow on an interval; a host that stays silent past
+    the timeout — or whose socket errors — is declared lost: its
+    in-flight leaves are re-queued at the head of the least-loaded
+    survivor (capped at :data:`MAX_TASK_REQUEUES` so a poison leaf
+    fails the job instead of hopping hosts forever), its backlog and
+    unanswered cache offers migrate, and ``sched.remote.requeues``
+    ticks.  Losing the *last* host raises — there is nowhere left to
+    run.
+
+Everything is observable under ``sched.remote.*``: host count, jobs,
+steals, requeues, cache offers/hits/pulls/pushes and per-direction byte
+counts, plus the per-leaf ``repro.obs/1`` payloads streamed back with
+each result (so ``--live`` and the telemetry endpoint show the whole
+cluster).
+"""
+
+import os
+import pickle
+import select
+import socket
+import time
+from collections import deque
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.eval.sched import wire
+from repro.eval.sched.base import Backend, LeafResult
+
+#: Give up on a leaf after it has been re-queued off this many lost
+#: hosts (mirrors ``MAX_TASK_CRASHES`` one level down).
+MAX_TASK_REQUEUES = 2
+
+
+def _env_float(name, default):
+    try:
+        return float(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+def parse_hosts(spec):
+    """``"a:9700,b:9701"`` (or an iterable of such) -> ``[(host, port)]``."""
+    if spec is None:
+        spec = os.environ.get("REPRO_SCHED_HOSTS", "")
+    if isinstance(spec, str):
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+    else:
+        parts = [str(p).strip() for p in spec if str(p).strip()]
+    hosts = []
+    for part in parts:
+        host, sep, port = part.rpartition(":")
+        if not sep or not port.isdigit():
+            raise SimulationError(
+                f"bad --hosts entry {part!r}: expected HOST:PORT")
+        hosts.append((host or "127.0.0.1", int(port)))
+    if not hosts:
+        raise SimulationError(
+            "the remote backend needs --hosts HOST:PORT[,HOST:PORT...] "
+            "(or REPRO_SCHED_HOSTS)")
+    return hosts
+
+
+class _Host:
+    """One connected worker daemon and its scheduling state."""
+
+    __slots__ = ("index", "addr", "label", "stream", "capacity",
+                 "queue", "inflight", "alive", "last_recv", "last_ping",
+                 "ping_seq", "stats")
+
+    def __init__(self, index, addr):
+        self.index = index
+        self.addr = addr
+        self.label = f"{addr[0]}:{addr[1]}"
+        self.stream = None
+        self.capacity = 1
+        self.queue = deque()          # task names not yet dispatched
+        self.inflight = {}            # task name -> _TaskState
+        self.alive = False
+        self.last_recv = 0.0
+        self.last_ping = 0.0
+        self.ping_seq = 0
+        self.stats = {}               # last pong payload
+
+    @property
+    def load(self):
+        return (len(self.queue) + len(self.inflight)) / max(1, self.capacity)
+
+    @property
+    def free(self):
+        return self.capacity - len(self.inflight)
+
+
+class _TaskState:
+    """Lifecycle of one submitted leaf across offers/pulls/dispatch."""
+
+    __slots__ = ("task", "phase", "submitted", "offers_waiting",
+                 "hit_hosts", "miss_hosts", "pull_host", "requeues")
+
+    def __init__(self, task):
+        self.task = task
+        self.phase = "new"       # offering | ready | inflight | pulling | done
+        self.submitted = time.perf_counter()
+        self.offers_waiting = set()     # host indices yet to answer
+        self.hit_hosts = []             # host indices that hold the digest
+        self.miss_hosts = []            # host indices that reported a miss
+        self.pull_host = None
+        self.requeues = 0
+
+
+class RemoteBackend(Backend):
+    """Multiplex several worker daemons behind the Backend protocol."""
+
+    name = "remote"
+    mode = "remote"
+
+    def __init__(self, hosts, token=None):
+        self._hosts = [_Host(i, addr) for i, addr in enumerate(hosts)]
+        self._token = wire.default_token() if token is None else token
+        self._tasks = {}          # name -> _TaskState
+        self._by_digest = {}      # fingerprint -> task name
+        self._results = deque()
+        self._outstanding = 0
+        self._started = False
+        self._heartbeat = _env_float("REPRO_SCHED_HEARTBEAT", 2.0)
+        self._timeout = _env_float("REPRO_SCHED_TIMEOUT", 15.0)
+        self._connect_timeout = _env_float("REPRO_SCHED_CONNECT_TIMEOUT", 5.0)
+        self._cache_sync = os.environ.get("REPRO_SCHED_CACHE_SYNC", "1") != "0"
+        self._replicate = os.environ.get("REPRO_SCHED_REPLICATE", "") == "1"
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+
+    def _connect(self, host):
+        try:
+            sock = socket.create_connection(host.addr,
+                                            timeout=self._connect_timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = wire.FrameStream(sock)
+            welcome = wire.client_handshake(stream, self._token)
+        except (OSError, EOFError, wire.WireError) as exc:
+            obs.registry().record(
+                "sched.remote.connect_failed",
+                {"host": host.label, "error": str(exc)})
+            return False
+        sock.settimeout(None)
+        host.stream = stream
+        host.capacity = max(1, int(welcome.get("workers", 1)))
+        if welcome.get("host"):
+            host.label = f"{welcome['host']}({host.label})"
+        host.alive = True
+        host.last_recv = time.monotonic()
+        return True
+
+    def _ensure_started(self):
+        if self._started:
+            return
+        reg = obs.registry()
+        connected = sum(1 for host in self._hosts if self._connect(host))
+        if not connected:
+            raise SimulationError(
+                "remote backend could not reach any worker daemon: "
+                + ", ".join(h.label for h in self._hosts))
+        reg.gauge("sched.remote.hosts", connected)
+        reg.record("sched.remote.hosts",
+                   {"connected": [h.label for h in self._hosts if h.alive],
+                    "capacity": sum(h.capacity for h in self._hosts
+                                    if h.alive)})
+        self._started = True
+
+    def _alive(self):
+        return [host for host in self._hosts if host.alive]
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+
+    def submit(self, task):
+        self._ensure_started()
+        state = _TaskState(task)
+        self._tasks[task.name] = state
+        self._outstanding += 1
+        alive = self._alive()
+        if self._cache_sync and task.fingerprint and alive:
+            self._by_digest[task.fingerprint] = task.name
+            state.phase = "offering"
+            state.offers_waiting = {host.index for host in alive}
+            reg = obs.registry()
+            for host in alive:
+                reg.inc("sched.remote.cache.offers")
+                if not self._send(host, wire.cache_offer_envelope(
+                        task.name, [task.fingerprint])):
+                    state.offers_waiting.discard(host.index)
+        else:
+            self._make_ready(state)
+        self._dispatch()
+        self._tick(0.0)
+
+    def next_result(self, timeout=None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._results:
+            if not self._outstanding:
+                if timeout is not None:
+                    return None
+                raise RuntimeError(
+                    "remote backend has no results and no jobs in flight")
+            wait = self._heartbeat / 4
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                wait = min(wait, remaining)
+            self._tick(wait)
+        self._outstanding -= 1
+        return self._results.popleft()
+
+    @property
+    def outstanding(self):
+        return self._outstanding
+
+    def close(self):
+        for host in self._alive():
+            try:
+                host.stream.send(wire.shutdown_envelope())
+            except (OSError, wire.WireError):
+                pass
+        self._flush_byte_gauges()
+        for host in self._hosts:
+            if host.stream is not None:
+                host.stream.close()
+                host.stream = None
+            host.alive = False
+            host.queue.clear()
+            host.inflight.clear()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # the event loop (single-threaded: runs inside submit/next_result)
+    # ------------------------------------------------------------------
+
+    def _tick(self, timeout):
+        """One pass of socket I/O, heartbeats and dispatch."""
+        alive = self._alive()
+        if alive:
+            readable, __, __ = select.select(
+                [host.stream for host in alive], [], [], timeout)
+            for stream in readable:
+                host = next(h for h in alive if h.stream is stream)
+                if not host.alive:
+                    continue
+                try:
+                    env = stream.recv()
+                except EOFError:
+                    self._lose_host(host, "connection closed")
+                    continue
+                except OSError as exc:
+                    self._lose_host(host, f"socket error: {exc}")
+                    continue
+                except wire.WireError as exc:
+                    if exc.fatal:
+                        self._lose_host(host, f"wire error: {exc}")
+                        continue
+                    obs.registry().inc("sched.remote.wire_errors")
+                    continue
+                host.last_recv = time.monotonic()
+                self._on_frame(host, env)
+        self._heartbeat_pass()
+        self._dispatch()
+        self._flush_byte_gauges()
+
+    def _heartbeat_pass(self):
+        now = time.monotonic()
+        for host in self._alive():
+            if now - host.last_recv > self._timeout:
+                self._lose_host(host, "heartbeat timeout")
+            elif now - host.last_ping >= self._heartbeat:
+                host.ping_seq += 1
+                host.last_ping = now
+                self._send(host, wire.ping_envelope(host.ping_seq))
+
+    def _flush_byte_gauges(self):
+        reg = obs.registry()
+        reg.gauge("sched.remote.bytes.sent",
+                  sum(h.stream.bytes_sent for h in self._hosts
+                      if h.stream is not None))
+        reg.gauge("sched.remote.bytes.recv",
+                  sum(h.stream.bytes_recv for h in self._hosts
+                      if h.stream is not None))
+
+    def _send(self, host, envelope):
+        """Send one frame; a failed host is lost in place.  True on ok."""
+        try:
+            host.stream.send(envelope)
+            return True
+        except (OSError, wire.WireError) as exc:
+            self._lose_host(host, f"send failed: {exc}")
+            return False
+
+    # ------------------------------------------------------------------
+    # frame handling
+    # ------------------------------------------------------------------
+
+    def _on_frame(self, host, env):
+        kind = env.get("kind")
+        if kind in ("result", "error"):
+            self._on_result(host, env)
+        elif kind == "cache_hits":
+            self._on_cache_hits(host, env)
+        elif kind == "cache_object":
+            self._on_cache_object(host, env)
+        elif kind == "cache_miss":
+            self._on_cache_miss(host, env)
+        elif kind == "pong":
+            host.stats = env.get("stats") or {}
+        elif kind == "shutdown":
+            self._lose_host(host, "daemon shut down")
+        # anything else from an authenticated daemon is ignorable noise
+
+    def _on_result(self, host, env):
+        try:
+            result = wire.result_from_envelope(env)
+        except (KeyError, pickle.UnpicklingError) as exc:
+            obs.registry().inc("sched.remote.wire_errors")
+            obs.registry().record(
+                "sched.remote.wire_errors",
+                {"host": host.label, "error": repr(exc)})
+            return
+        if result.name == "?":
+            # The daemon rejected a frame of ours; it never maps to a
+            # leaf here because jobs are tracked by inflight name.
+            obs.registry().inc("sched.remote.wire_errors")
+            return
+        state = host.inflight.pop(result.name, None)
+        if state is None or state.phase == "done":
+            return                       # late duplicate after a requeue
+        result.worker = f"{host.label}/{result.worker}"
+        self._settle(state, result)
+        if self._replicate and result.ok and state.task.fingerprint \
+                and state.miss_hosts:
+            push = wire.cache_push_envelope(state.task.fingerprint,
+                                            result.value)
+            for index in state.miss_hosts:
+                other = self._hosts[index]
+                if other.alive and other is not host:
+                    obs.registry().inc("sched.remote.cache.pushed")
+                    self._send(other, push)
+
+    def _on_cache_hits(self, host, env):
+        state = self._tasks.get(env.get("offer"))
+        if state is None:
+            return
+        state.offers_waiting.discard(host.index)
+        if env.get("digests"):
+            state.hit_hosts.append(host.index)
+        else:
+            state.miss_hosts.append(host.index)
+        if state.phase != "offering":
+            return
+        if state.hit_hosts:
+            self._start_pull(state)
+        elif not state.offers_waiting:
+            # Every live host answered and nobody holds it: execute.
+            self._make_ready(state)
+
+    def _start_pull(self, state):
+        while state.hit_hosts:
+            index = state.hit_hosts.pop(0)
+            host = self._hosts[index]
+            if not host.alive:
+                continue
+            state.phase = "pulling"
+            state.pull_host = index
+            if self._send(host, wire.cache_pull_envelope(
+                    state.task.fingerprint)):
+                obs.registry().inc("sched.remote.cache.hits")
+                return
+        # No live hit host left: fall back to execution (or keep
+        # waiting for the remaining offer answers).
+        state.pull_host = None
+        if state.offers_waiting:
+            state.phase = "offering"
+        else:
+            self._make_ready(state)
+
+    def _on_cache_object(self, host, env):
+        name = self._by_digest.get(env.get("digest"))
+        state = self._tasks.get(name) if name else None
+        if state is None or state.phase != "pulling" \
+                or state.pull_host != host.index:
+            return
+        try:
+            value = pickle.loads(env["payload"])
+        except Exception:
+            obs.registry().inc("sched.remote.wire_errors")
+            self._start_pull(state)
+            return
+        obs.registry().inc("sched.remote.cache.pulled")
+        self._settle(state, LeafResult(
+            name=state.task.name, value=value,
+            worker=f"{host.label}/cache"))
+
+    def _on_cache_miss(self, host, env):
+        name = self._by_digest.get(env.get("digest"))
+        state = self._tasks.get(name) if name else None
+        if state is None or state.phase != "pulling" \
+                or state.pull_host != host.index:
+            return
+        # The entry vanished between offer and pull (eviction, GC).
+        state.miss_hosts.append(host.index)
+        self._start_pull(state)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def _make_ready(self, state, front=False):
+        alive = self._alive()
+        if not alive:
+            raise SimulationError(
+                "remote backend lost every worker daemon with "
+                f"{self._outstanding} leaves outstanding")
+        state.phase = "ready"
+        host = min(alive, key=lambda h: (h.load, h.index))
+        if front:
+            host.queue.appendleft(state.task.name)
+        else:
+            host.queue.append(state.task.name)
+
+    def _steal_for(self, thief):
+        victim = max((h for h in self._alive() if h.queue),
+                     key=lambda h: (len(h.queue), -h.index), default=None)
+        if victim is None or victim is thief:
+            return None
+        name = victim.queue.pop()            # the steal end
+        reg = obs.registry()
+        reg.inc("sched.remote.steals")
+        reg.record("sched.remote.steals",
+                   {"job": name, "victim": victim.label,
+                    "thief": thief.label,
+                    "victim_backlog": len(victim.queue)})
+        return name
+
+    def _dispatch(self):
+        reg = obs.registry()
+        for host in self._alive():
+            while host.alive and host.free > 0:
+                name = host.queue.popleft() if host.queue \
+                    else self._steal_for(host)
+                if name is None:
+                    break
+                state = self._tasks[name]
+                state.phase = "inflight"
+                host.inflight[name] = state
+                if not self._send(host, wire.job_envelope(state.task)):
+                    break                    # host lost; leaf re-queued
+                reg.inc("sched.remote.jobs")
+
+    def _settle(self, state, result):
+        state.phase = "done"
+        state.submitted, submitted = None, state.submitted
+        if submitted is not None:
+            result.seconds = time.perf_counter() - submitted
+        self._results.append(result)
+
+    # ------------------------------------------------------------------
+    # lost-host recovery
+    # ------------------------------------------------------------------
+
+    def _lose_host(self, host, reason):
+        if not host.alive:
+            return
+        host.alive = False
+        if host.stream is not None:
+            host.stream.close()
+        reg = obs.registry()
+        reg.inc("sched.remote.hosts.lost")
+        reg.record("sched.remote.hosts.lost",
+                   {"host": host.label, "reason": reason,
+                    "inflight": sorted(host.inflight),
+                    "backlog": len(host.queue)})
+        reg.gauge("sched.remote.hosts", len(self._alive()))
+        inflight = list(host.inflight.values())
+        host.inflight.clear()
+        backlog = list(host.queue)
+        host.queue.clear()
+        # In-flight leaves: the expensive loss — count each requeue and
+        # give up on leaves that keep sinking hosts.
+        for state in inflight:
+            state.requeues += 1
+            if state.requeues > MAX_TASK_REQUEUES:
+                self._settle(state, LeafResult(
+                    name=state.task.name, worker=host.label,
+                    error=f"leaf {state.task.name!r} was in flight on "
+                          f"{state.requeues} lost hosts in a row "
+                          f"(last: {host.label}, {reason})"))
+                continue
+            reg.inc("sched.remote.requeues")
+            self._make_ready(state, front=True)
+        # Backlog and unanswered offers migrate without a requeue count.
+        for name in backlog:
+            self._make_ready(self._tasks[name])
+        for state in self._tasks.values():
+            if state.phase == "offering":
+                state.offers_waiting.discard(host.index)
+                if state.hit_hosts:
+                    self._start_pull(state)
+                elif not state.offers_waiting:
+                    self._make_ready(state)
+            elif state.phase == "pulling" and state.pull_host == host.index:
+                self._start_pull(state)
+        self._dispatch()

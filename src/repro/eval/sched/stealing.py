@@ -53,14 +53,39 @@ _JOIN_TIMEOUT = 5.0
 
 
 def _worker_main(conn, worker_id):
-    """Long-lived worker loop: job frame in, result frame out."""
+    """Long-lived worker loop: job frame in, result frame out.
+
+    A malformed frame used to kill this loop silently — the scheduler
+    saw only an EOF and burned a crash-respawn on a healthy worker.
+    Now a :class:`wire.WireError` is answered with a structured
+    ``error`` frame (named ``"?"`` since no task could be decoded) and
+    the loop keeps serving; only *fatal* wire errors (the pipe's
+    message framing makes these unreachable in practice) end the loop.
+    """
     while True:
         try:
             env = wire.recv_frame(conn)
         except (EOFError, OSError):          # parent went away
             break
-        if env["kind"] == "shutdown":
-            break
+        except wire.WireError as exc:
+            if exc.fatal:                    # pragma: no cover
+                break
+            try:
+                wire.send_frame(conn, wire.error_envelope(
+                    "?", f"malformed frame: {exc}", worker_id))
+                continue
+            except (BrokenPipeError, OSError):   # pragma: no cover
+                break
+        if env.get("kind") != "job":
+            if env.get("kind") == "shutdown":
+                break
+            try:
+                wire.send_frame(conn, wire.error_envelope(
+                    "?", f"unexpected frame kind {env.get('kind')!r}",
+                    worker_id))
+                continue
+            except (BrokenPipeError, OSError):   # pragma: no cover
+                break
         task = wire.task_from_envelope(env)
         result = execute_task(task)
         try:
@@ -210,23 +235,48 @@ class WorkersBackend(Backend):
                 target.queue.appendleft(task)
         self._pump()
 
-    def next_result(self):
+    def next_result(self, timeout=None):
+        """The next finished leaf; ``None`` when ``timeout`` elapses.
+
+        The default (no timeout) blocks until a result is available —
+        the orchestrator's mode.  A timeout makes the call a poll, which
+        is what lets a worker daemon's pump thread multiplex this pool
+        with its coordinator socket.
+        """
         while not self._results:
             conns = {slot.conn: slot for slot in self._slots
                      if slot.conn is not None
                      and slot.inflight is not None}
             if not conns:
+                if timeout is not None:
+                    return None
                 raise RuntimeError(
                     "workers backend has no results and no jobs in "
                     "flight")
-            for conn in multiprocessing.connection.wait(list(conns)):
+            ready = multiprocessing.connection.wait(list(conns), timeout)
+            if not ready:
+                return None
+            for conn in ready:
                 slot = conns[conn]
                 try:
                     env = wire.recv_frame(conn)
                 except (EOFError, OSError):
                     self._crash(slot)
                     continue
+                except wire.WireError:       # pragma: no cover
+                    # Undecodable bytes from a worker: its stream can't
+                    # be trusted any more; recycle it like a crash.
+                    self._crash(slot)
+                    continue
                 result = wire.result_from_envelope(env)
+                if result.name == "?":
+                    # The worker rejected a frame it could not decode.
+                    # With a job in flight, fail that job (the frame it
+                    # rejected *was* the job); otherwise just log it.
+                    obs.registry().inc("orchestrator.worker.wire_errors")
+                    if slot.inflight is None:
+                        continue
+                    result.name = slot.inflight.name
                 slot.inflight = None
                 submitted = self._submitted.pop(result.name, None)
                 if submitted is not None:

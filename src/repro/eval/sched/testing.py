@@ -27,6 +27,16 @@ def sleepy_leaf(seconds=0.0, seed=0, size=1):
     return seeded_leaf(seed=seed, size=size)
 
 
+def poison_leaf(seed=0):
+    """Kill the executing worker on *every* attempt.
+
+    The respawn-cap probe: a leaf like this must surface as a job
+    failure after ``MAX_TASK_CRASHES`` recoveries instead of burning
+    worker forks forever.
+    """
+    os._exit(1)
+
+
 def crashy_leaf(sentinel, seed=0):
     """Kill the executing worker the first time, succeed on retry.
 
